@@ -1,0 +1,58 @@
+"""Ablations of this repo's own design choices (DESIGN.md §2).
+
+Not paper figures — these justify the documented deviations: the
+phase-2.5 joint polish, lazy Adam over SGD, and the landmark-selection
+strategy choice.
+"""
+
+from __future__ import annotations
+
+from conftest import is_fast, save_report
+from repro.bench import ablations
+
+FAST = is_fast()
+
+
+def test_ablation_joint_pass(benchmark):
+    out = {}
+
+    def run():
+        out["res"] = ablations.ablate_joint_pass(fast=FAST)
+        return out["res"]
+
+    benchmark.pedantic(run, iterations=1, rounds=1)
+    save_report("ablation_joint_pass", out["res"]["report"])
+    res = out["res"]["results"]
+    # The joint pass is on by default because it never hurts materially.
+    assert (
+        res["with joint pass"]["mean_rel"]
+        <= res["without joint pass"]["mean_rel"] * 1.1
+    )
+
+
+def test_ablation_optimizer(benchmark):
+    out = {}
+
+    def run():
+        out["res"] = ablations.ablate_optimizer(fast=FAST)
+        return out["res"]
+
+    benchmark.pedantic(run, iterations=1, rounds=1)
+    save_report("ablation_optimizer", out["res"]["report"])
+    res = out["res"]["results"]
+    # Adam converges at least as well as SGD at these budgets (the reason
+    # it is the default; SGD remains available for fidelity).
+    assert res["lazy adam"] <= res["sgd (paper)"] * 1.1
+
+
+def test_ablation_landmark_strategy(benchmark):
+    out = {}
+
+    def run():
+        out["res"] = ablations.ablate_landmark_strategy(fast=FAST)
+        return out["res"]
+
+    benchmark.pedantic(run, iterations=1, rounds=1)
+    save_report("ablation_landmarks_strategy", out["res"]["report"])
+    res = out["res"]["results"]
+    assert all(v < 0.5 for v in res.values())  # every strategy trains sanely

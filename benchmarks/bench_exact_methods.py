@@ -1,0 +1,74 @@
+"""Supplementary table: the exact-method design space.
+
+Not a paper figure — a summary of every exact index this repo implements
+(bidirectional Dijkstra, CH, H2H, CH hub labels, multi-level G-tree, SILC
+all-pairs), positioning RNE's approximate trade-off against the exact
+frontier: query time vs index size vs build time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import is_fast, save_report
+from repro.bench import experiments as ex
+from repro.bench.reporting import format_table, human_bytes
+
+FAST = is_fast()
+EXACT_METHODS = ["dijkstra", "ch", "h2h", "hl", "gtree", "silc"]
+
+
+@pytest.mark.parametrize("method", ["h2h", "hl", "gtree", "silc"])
+def test_exact_query_speed(benchmark, method):
+    built = ex.get_method("BJ-S", method, fast=FAST)
+    pairs = ex.get_workload("BJ-S", fast=FAST).pairs[:50]
+
+    def run():
+        for s, t in pairs:
+            built.query(int(s), int(t))
+
+    benchmark(run)
+
+
+def test_exact_methods_report(benchmark):
+    import time
+
+    rows = {}
+
+    def run():
+        workload = ex.get_workload("BJ-S", fast=FAST)
+        pairs = workload.pairs[:200]
+        for m in EXACT_METHODS:
+            built = ex.get_method("BJ-S", m, fast=FAST)
+            start = time.perf_counter()
+            pred = built.query_pairs(pairs)
+            per_q = (time.perf_counter() - start) / len(pairs) * 1e6
+            # Exactness is asserted, not assumed.
+            import numpy as np
+
+            assert np.allclose(pred, workload.truth[:200]), m
+            rows[m] = {
+                "query_us": per_q,
+                "build_s": built.build_seconds,
+                "index_bytes": built.index_bytes(),
+            }
+        return rows
+
+    benchmark.pedantic(run, iterations=1, rounds=1)
+    report = format_table(
+        ["method", "us/query", "build s", "index"],
+        [
+            [m, f"{r['query_us']:.1f}", f"{r['build_s']:.2f}",
+             human_bytes(r["index_bytes"])]
+            for m, r in rows.items()
+        ],
+        title="Exact methods — query/build/size trade-off (BJ-S)",
+    )
+    save_report("exact_methods", report)
+
+    # SILC is the O(1)-query / quadratic-memory corner.
+    assert rows["silc"]["index_bytes"] == max(
+        r["index_bytes"] for r in rows.values()
+    )
+    # Dijkstra is index-free.
+    assert rows["dijkstra"]["index_bytes"] == 0

@@ -1,0 +1,38 @@
+"""Fig. 10 — error versus embedding dimension and training volume.
+
+Paper shape: error decreases with more training samples for every d, with
+diminishing returns; larger d has more capacity (lower floor) but needs
+more samples to get there.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import is_fast, save_report
+from repro.bench import experiments as ex
+
+FAST = is_fast()
+
+
+def test_fig10_dimension(benchmark):
+    out = {}
+
+    def run():
+        out["res"] = ex.fig10_dimension(
+            dims=(8, 16) if FAST else (8, 16, 32, 64),
+            sample_multipliers=(4, 16) if FAST else (4, 16, 64),
+            fast=FAST,
+        )
+        return out["res"]
+
+    benchmark.pedantic(run, iterations=1, rounds=1)
+    save_report("fig10_dimension", out["res"]["report"])
+
+    table = out["res"]["table"]
+    mults = sorted(next(iter(table.values())).keys())
+    # More samples should help (or at least not hurt much) per dimension.
+    improved = [
+        table[d][mults[-1]] <= table[d][mults[0]] * 1.2 for d in table
+    ]
+    assert np.mean(improved) >= 0.5

@@ -1,0 +1,32 @@
+"""Fig. 11 (+ Figs. 7/8) — hierarchical training and active fine-tuning.
+
+Four arms share a validation set: RNE-Naive, RNE-Hier, and both with an
+active-fine-tuning tail.  Paper shape: Hier converges faster and lower than
+Naive; AFT pushes each plateau further down.  The Fig. 7 statistic (share
+of collapsed embedding pairs) should be higher for the flat model.
+"""
+
+from __future__ import annotations
+
+from conftest import is_fast, save_report
+from repro.bench import experiments as ex
+
+FAST = is_fast()
+
+
+def test_fig11_hier_aft(benchmark):
+    out = {}
+
+    def run():
+        out["res"] = ex.fig11_hier_aft(fast=FAST)
+        return out["res"]
+
+    benchmark.pedantic(run, iterations=1, rounds=1)
+    save_report("fig11_hier_aft", out["res"]["report"])
+
+    finals = out["res"]["final"]
+    # Hierarchy helps at equal sample budget.
+    assert finals["RNE-Hier"] < finals["RNE-Naive"]
+    # Fine-tuning never leaves a model worse than its own starting point.
+    assert finals["RNE-Hier-AFT"] <= finals["RNE-Hier"] + 1e-9
+    assert finals["RNE-Naive-AFT"] <= finals["RNE-Naive"] + 1e-9

@@ -1,0 +1,31 @@
+"""Fig. 12 — the landmark-count ablation for vertex-phase sampling.
+
+All arms branch from one shared hierarchy-phase model and differ only in
+how vertex-phase pairs are selected.  Paper shape: a *moderate* landmark
+count wins; too few landmarks underperform even random pairs.
+"""
+
+from __future__ import annotations
+
+from conftest import is_fast, save_report
+from repro.bench import experiments as ex
+
+FAST = is_fast()
+
+
+def test_fig12_landmarks(benchmark):
+    out = {}
+
+    def run():
+        out["res"] = ex.fig12_landmarks(fast=FAST)
+        return out["res"]
+
+    benchmark.pedantic(run, iterations=1, rounds=1)
+    save_report("fig12_landmarks", out["res"]["report"])
+
+    best = out["res"]["best"]
+    lm_scores = {k: v for k, v in best.items() if k.startswith("LM")}
+    # The best landmark configuration should beat the smallest one
+    # (too-few-landmarks pathology from the paper).
+    counts = sorted(lm_scores, key=lambda k: int(k[2:]))
+    assert min(lm_scores.values()) <= lm_scores[counts[0]]

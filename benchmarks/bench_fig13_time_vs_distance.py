@@ -1,0 +1,55 @@
+"""Fig. 13 — query time versus query distance scale.
+
+Paper shape: CH/ACH query time grows with distance (bigger search spaces);
+H2H roughly flat; LT and RNE exactly flat (O(|U|) / O(d) arithmetic,
+distance-independent), with RNE below LT.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import is_fast, save_report
+from repro.bench import experiments as ex
+
+FAST = is_fast()
+
+
+@pytest.mark.parametrize("method", ["ch", "lt", "rne"])
+def test_short_vs_long_queries(benchmark, method):
+    """Benchmark one method on its longest-distance query group."""
+    graph = ex.get_dataset("BJ-S", fast=FAST)
+    from repro.bench.workloads import distance_scale_groups
+
+    groups = distance_scale_groups(graph, num_groups=3, per_group=100, seed=21)
+    built = ex.get_method("BJ-S", method, fast=FAST)
+    pairs = groups[-1].pairs
+
+    def run():
+        built.query_pairs(pairs)
+
+    benchmark(run)
+
+
+def test_fig13_report(benchmark):
+    out = {}
+
+    def run():
+        out["res"] = ex.fig13_time_vs_distance(
+            methods=("ch", "ach", "h2h", "lt", "rne"), fast=FAST
+        )
+        return out["res"]
+
+    benchmark.pedantic(run, iterations=1, rounds=1)
+    save_report("fig13_time_vs_distance", out["res"]["report"])
+
+    times = out["res"]["times"]
+    # CH search grows with distance; RNE stays flat (arithmetic only).
+    assert times["ch"][-1] > times["ch"][0]
+    rne = np.array(times["rne"])
+    assert rne.max() < 10 * max(rne.min(), 1e-6)
+    # RNE is the fastest non-trivial method at every distance scale.
+    for i in range(len(out["res"]["bounds"])):
+        assert times["rne"][i] < times["lt"][i]
+        assert times["rne"][i] < times["h2h"][i]

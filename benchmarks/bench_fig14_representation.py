@@ -1,0 +1,48 @@
+"""Fig. 14 — representation-function ablation: RNE vs DeepWalk-Regression.
+
+Paper shape: DR beats raw geometry (it learns something), RNE beats DR
+once it has a reasonable number of training samples, and RNE's inference
+cost (O(d) arithmetic) is far below a forward pass through a 1K-100K
+parameter network.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import is_fast, save_report
+from repro.bench import experiments as ex
+
+FAST = is_fast()
+
+
+def test_fig14_representation(benchmark):
+    out = {}
+
+    def run():
+        out["res"] = ex.fig14_representation(
+            multipliers=(1, 4) if FAST else (1, 4, 16), fast=FAST
+        )
+        return out["res"]
+
+    benchmark.pedantic(run, iterations=1, rounds=1)
+    save_report("fig14_representation", out["res"]["report"])
+
+    results = out["res"]["results"]
+    mults = sorted(results["RNE"].keys())
+    # With enough data RNE is the most accurate representation.
+    best_mult = mults[-1]
+    rne_err = results["RNE"][best_mult]
+    for name, series in results.items():
+        if name == "RNE":
+            continue
+        assert rne_err <= series[best_mult] + 1e-9, f"RNE should beat {name}"
+
+
+@pytest.mark.parametrize("method", ["rne", "dr-1k"])
+def test_inference_speed(benchmark, method):
+    """RNE inference must be cheaper than even the smallest DR network."""
+    built = ex.get_method("BJ-S", method, fast=True)
+    pairs = ex.get_workload("BJ-S", fast=True).pairs[:500]
+    benchmark(built.query_pairs, pairs)

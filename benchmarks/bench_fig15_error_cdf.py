@@ -1,0 +1,31 @@
+"""Fig. 15 — cumulative error distribution per method.
+
+Paper shape: RNE's CDF dominates the other approximate methods (more
+queries under every error threshold), and all index methods dominate raw
+Euclidean/Manhattan geometry.
+"""
+
+from __future__ import annotations
+
+from conftest import is_fast, save_report
+from repro.bench import experiments as ex
+
+FAST = is_fast()
+
+
+def test_fig15_error_cdf(benchmark):
+    out = {}
+
+    def run():
+        out["res"] = ex.fig15_error_cdf(fast=FAST)
+        return out["res"]
+
+    benchmark.pedantic(run, iterations=1, rounds=1)
+    save_report("fig15_error_cdf", out["res"]["report"])
+
+    curves = out["res"]["curves"]
+    # RNE dominates geometry at every threshold.
+    assert (curves["rne"] >= curves["euclidean"] - 1e-9).all()
+    assert (curves["rne"] >= curves["manhattan"] - 1e-9).all()
+    # And is at least competitive with ACH / the oracle overall.
+    assert curves["rne"].mean() >= curves["oracle"].mean() - 0.05

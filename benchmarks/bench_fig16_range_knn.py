@@ -1,0 +1,62 @@
+"""Fig. 16 — range and kNN query performance (F1 + time).
+
+Paper shape: RNE's F1 is high (>0.9 at city-scale radii) and above the
+geometric baselines; the exact G-tree/V-tree scores F1 = 1 but pays
+search-time for it; the embedding index answers range queries in
+microseconds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import is_fast, save_report
+from repro.bench import experiments as ex
+
+FAST = is_fast()
+
+
+def test_fig16_report(benchmark):
+    out = {}
+
+    def run():
+        out["res"] = ex.fig16_range_knn(fast=FAST)
+        return out["res"]
+
+    benchmark.pedantic(run, iterations=1, rounds=1)
+    save_report("fig16_range_knn", out["res"]["report"])
+
+    res = out["res"]
+    # Exact baselines must be exact.
+    assert all(f == pytest.approx(1.0) for f in res["f1"]["G-tree"])
+    # RNE accuracy above geometry on average (paper: 5-10% better).
+    assert np.mean(res["f1"]["RNE"]) >= np.mean(res["f1"]["Euclidean"]) - 0.02
+    assert np.mean(res["f1"]["RNE"]) >= np.mean(res["f1"]["Manhattan"]) - 0.02
+
+
+def test_rne_range_query_speed(benchmark):
+    rne = ex.get_method("BJ-S", "rne", fast=FAST).impl
+    graph = ex.get_dataset("BJ-S", fast=FAST)
+    rng = np.random.default_rng(0)
+    targets = rng.choice(graph.n, size=min(200, graph.n), replace=False)
+    tau = float(np.mean(rne.model.matrix.std(axis=0)) * 4)
+
+    def run():
+        for s in targets[:20]:
+            rne.range_query(int(s), targets, tau)
+
+    benchmark(run)
+
+
+def test_rne_knn_query_speed(benchmark):
+    rne = ex.get_method("BJ-S", "rne", fast=FAST).impl
+    graph = ex.get_dataset("BJ-S", fast=FAST)
+    rng = np.random.default_rng(1)
+    targets = rng.choice(graph.n, size=min(200, graph.n), replace=False)
+
+    def run():
+        for s in targets[:20]:
+            rne.knn(int(s), targets, 10)
+
+    benchmark(run)

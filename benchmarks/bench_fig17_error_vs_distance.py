@@ -1,0 +1,38 @@
+"""Fig. 17 — absolute and relative error across distance scales.
+
+Paper shape: RNE's e_abs is roughly flat in distance (the squared loss
+optimises absolute error uniformly), so its e_rel *decreases* with
+distance; ACH's relative error grows with distance; the oracle's e_rel is
+roughly flat at its epsilon.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import is_fast, save_report
+from repro.bench import experiments as ex
+
+FAST = is_fast()
+
+
+def test_fig17_error_vs_distance(benchmark):
+    out = {}
+
+    def run():
+        out["res"] = ex.fig17_error_vs_distance(fast=FAST)
+        return out["res"]
+
+    benchmark.pedantic(run, iterations=1, rounds=1)
+    save_report("fig17_error_vs_distance", out["res"]["report"])
+
+    res = out["res"]
+    rne_rel = np.array(res["rel"]["rne"])
+    # e_rel of RNE should trend down with distance: last group below first.
+    assert rne_rel[-1] <= rne_rel[0] + 1e-9
+    # RNE should be the most accurate approximate method on the longest
+    # distance scale (where the paper's Fig. 17 shows its biggest margin).
+    for m in res["rel"]:
+        if m == "rne":
+            continue
+        assert rne_rel[-1] <= res["rel"][m][-1] + 0.02

@@ -1,0 +1,31 @@
+"""Fig. 9 — the effect of the Lp metric on embedding error.
+
+Trains identically configured RNEs with p in {0.5, 1, 2, 3, 4, 5} and
+reports the converged validation error.  Paper shape: L1 clearly lowest;
+no monotone trend among the others.
+"""
+
+from __future__ import annotations
+
+from conftest import is_fast, save_report
+from repro.bench import experiments as ex
+
+FAST = is_fast()
+
+
+def test_fig9_lp(benchmark):
+    out = {}
+
+    def run():
+        out["res"] = ex.fig9_lp(
+            ps=(0.5, 1.0, 2.0, 4.0) if FAST else (0.5, 1.0, 2.0, 3.0, 4.0, 5.0),
+            fast=FAST,
+        )
+        return out["res"]
+
+    benchmark.pedantic(run, iterations=1, rounds=1)
+    save_report("fig9_lp", out["res"]["report"])
+
+    errors = out["res"]["errors"]
+    # The paper's claim: L1 is the best representation metric.
+    assert errors[1.0] == min(errors.values())

@@ -1,0 +1,37 @@
+"""Scaling behaviour: RNE vs graph size, and the oracle's wall.
+
+Quantifies the paper's third headline claim ("scales well to large road
+networks"): RNE's per-query cost is O(d) — flat in |V| — its index O(|V| d),
+while the Distance Oracle's construction explodes, which is why the paper
+runs it only on its smallest dataset.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import is_fast, save_report
+from repro.bench import ablations
+
+FAST = is_fast()
+
+
+def test_scaling(benchmark):
+    out = {}
+
+    def run():
+        out["res"] = ablations.scaling_experiment(fast=FAST)
+        return out["res"]
+
+    benchmark.pedantic(run, iterations=1, rounds=1)
+    save_report("scaling", out["res"]["report"])
+
+    rows = out["res"]["rows"]
+    sizes = [r[0] for r in rows]
+    times = [float(r[3]) for r in rows]
+    index_bytes = [int(r[4]) for r in rows]
+    # Query time flat in |V| (allow generous noise), index linear-ish.
+    assert max(times) < 20 * min(times)
+    growth = index_bytes[-1] / index_bytes[0]
+    size_growth = sizes[-1] / sizes[0]
+    assert growth < 4 * size_growth  # O(|V| d), with d stepping once

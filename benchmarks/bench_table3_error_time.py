@@ -1,0 +1,63 @@
+"""Table III — mean relative error and query time for every method.
+
+Per-method query latency is measured by pytest-benchmark over a fixed batch
+of queries on each dataset; errors come from the shared comparison run.
+The paper's shape: RNE fastest among index methods with the lowest error of
+the approximate ones; exact methods (H2H/CH) slower; geometry fastest but
+10-20x less accurate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import is_fast, save_report
+from repro.bench import experiments as ex
+
+FAST = is_fast()
+DATASETS = ex.DATASET_NAMES
+TIMED_METHODS = ["euclidean", "manhattan", "h2h", "lt", "rne"]
+SEARCH_METHODS = ["ch", "ach"]  # scalar-query methods, timed on fewer pairs
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("method", TIMED_METHODS)
+def test_query_batch(benchmark, dataset, method):
+    """Vectorised-batch query latency (how these methods run in practice)."""
+    built = ex.get_method(dataset, method, fast=FAST)
+    pairs = ex.get_workload(dataset, fast=FAST).pairs[:500]
+    benchmark(built.query_pairs, pairs)
+
+
+@pytest.mark.parametrize("dataset", DATASETS[:1])
+@pytest.mark.parametrize("method", SEARCH_METHODS)
+def test_query_single(benchmark, dataset, method):
+    """Per-query latency of the search-based hierarchies."""
+    built = ex.get_method(dataset, method, fast=FAST)
+    pairs = ex.get_workload(dataset, fast=FAST).pairs[:30]
+
+    def run():
+        for s, t in pairs:
+            built.query(int(s), int(t))
+
+    benchmark(run)
+
+
+def test_table3_report(benchmark):
+    """Regenerates the full Table III (errors + times) and saves it."""
+    data = {}
+
+    def run():
+        data["cmp"] = ex.comparison(fast=FAST)
+        return data["cmp"]
+
+    benchmark.pedantic(run, iterations=1, rounds=1)
+    report = ex.table3(data=data["cmp"])
+    save_report("table3", report)
+    # Shape assertions from the paper:
+    recs = data["cmp"]["records"]
+    for ds in data["cmp"]["datasets"]:
+        rne = recs[(ds, "rne")]
+        assert rne["mean_rel"] < recs[(ds, "euclidean")]["mean_rel"]
+        assert rne["mean_rel"] < recs[(ds, "manhattan")]["mean_rel"]
+        assert rne["query_us"] < recs[(ds, "lt")]["query_us"]

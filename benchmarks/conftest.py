@@ -1,0 +1,47 @@
+"""Shared benchmark infrastructure.
+
+Every bench file regenerates one table or figure of the paper.  Heavy
+artefacts (datasets, built methods, workloads) are cached per process via
+``repro.bench.experiments``'s lru caches, so running the whole directory in
+one pytest session builds each index exactly once.
+
+Set ``REPRO_BENCH_FAST=1`` to run every benchmark on scaled-down datasets
+(seconds instead of minutes), and ``REPRO_BENCH_SCALE=<float>`` to grow or
+shrink the standard datasets.
+
+Reports land in ``benchmarks/results/<name>.txt`` and are echoed to stdout;
+EXPERIMENTS.md records the committed runs.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+FAST = os.environ.get("REPRO_BENCH_FAST", "0") == "1"
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def is_fast() -> bool:
+    return FAST
+
+
+def save_report(name: str, text: str) -> None:
+    """Persist a table/series report and echo it for the console log.
+
+    Fast-mode reports go to a separate file so a quick validation run never
+    overwrites committed standard-mode results.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    suffix = ".fast" if FAST else ""
+    path = RESULTS_DIR / f"{name}{suffix}.txt"
+    header = f"# mode: {'fast' if FAST else 'standard'}\n"
+    path.write_text(header + text + "\n", encoding="utf-8")
+    print(f"\n{text}\n[saved to {path}]")
+
+
+@pytest.fixture(scope="session")
+def fast_mode() -> bool:
+    return FAST

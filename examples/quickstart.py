@@ -1,0 +1,63 @@
+"""Quickstart: train an RNE on a synthetic city and query distances.
+
+Run:  python examples/quickstart.py
+
+Builds a perturbed-grid road network, trains the hierarchical road-network
+embedding (Algorithm 1 of the paper), and compares its O(d) approximate
+distance queries against exact Dijkstra ground truth.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import RNEConfig, build_rne, grid_city
+from repro.algorithms import pair_distances
+from repro.core.metrics import error_report
+
+
+def main() -> None:
+    print("Building a 24x24 grid city (~576 vertices)...")
+    graph = grid_city(24, 24, seed=7)
+    print(f"  {graph.n} vertices, {graph.m} edges")
+
+    print("\nTraining the road network embedding (hierarchy -> vertices -> "
+          "active fine-tuning)...")
+    config = RNEConfig(d=32, seed=0)
+    start = time.perf_counter()
+    rne = build_rne(graph, config)
+    print(f"  trained in {time.perf_counter() - start:.1f}s; "
+          f"index = {rne.index_bytes() / 1024:.0f} KB")
+    for phase, err in rne.history.phase_errors.items():
+        print(f"  {phase:>18}: mean relative error {err * 100:.2f}%")
+
+    print("\nSpot-checking 5 random queries against exact Dijkstra:")
+    rng = np.random.default_rng(1)
+    pairs = rng.integers(graph.n, size=(5, 2))
+    truth = pair_distances(graph, pairs)
+    for (s, t), exact in zip(pairs, truth):
+        approx = rne.query(int(s), int(t))
+        print(f"  d({s:>3}, {t:>3})  exact={exact:8.1f}  "
+              f"rne={approx:8.1f}  err={abs(approx - exact) / exact * 100:5.2f}%")
+
+    print("\nThroughput comparison on 10,000 queries:")
+    big = rng.integers(graph.n, size=(10_000, 2))
+    start = time.perf_counter()
+    rne.query_pairs(big)
+    rne_time = time.perf_counter() - start
+    start = time.perf_counter()
+    pair_distances(graph, big[:500])  # exact is too slow for the full batch
+    exact_time = (time.perf_counter() - start) * 20
+    print(f"  RNE   : {rne_time * 1e6 / len(big):8.2f} us/query")
+    print(f"  exact : {exact_time * 1e6 / len(big):8.2f} us/query "
+          f"(extrapolated) -> {exact_time / rne_time:.0f}x slower")
+
+    work = rng.integers(graph.n, size=(2000, 2))
+    report = error_report(rne.query_pairs(work), pair_distances(graph, work))
+    print(f"\nOverall: {report}")
+
+
+if __name__ == "__main__":
+    main()

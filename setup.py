@@ -1,0 +1,8 @@
+"""Legacy setup shim: lets ``pip install -e .`` work in offline
+environments that lack the ``wheel`` package (PEP 660 editable installs
+need it; ``setup.py develop`` does not).  All metadata lives in
+pyproject.toml."""
+
+from setuptools import setup
+
+setup()

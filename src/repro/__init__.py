@@ -1,0 +1,46 @@
+"""repro — reproduction of "A Learning-based Method for Computing Shortest
+Path Distances on Road Networks" (Huang, Wang, Zhao & Li, ICDE 2021).
+
+Quick start::
+
+    from repro import build_rne, grid_city
+
+    graph = grid_city(24, 24, seed=7)
+    rne = build_rne(graph)
+    print(rne.query(0, graph.n - 1))   # approximate network distance
+
+Sub-packages
+------------
+``repro.graph``
+    Road-network substrate: CSR graphs, synthetic generators, DIMACS I/O,
+    multilevel partitioning and the partition hierarchy.
+``repro.algorithms``
+    Exact/approximate shortest-path baselines: Dijkstra, A*/ALT, CH, ACH,
+    hub labels, WSPD distance oracle, exact kNN/range.
+``repro.core``
+    The paper's contribution: RNE models, hierarchical training, sample
+    selection, active fine-tuning, metrics, embedding query index.
+``repro.baselines``
+    Learning and geometric baselines: DeepWalk regression, Euclidean /
+    Manhattan estimators, G-tree-style kNN.
+``repro.bench``
+    The experiment harness regenerating every table and figure.
+"""
+
+from .core import RNE, RNEConfig, RNEModel, build_rne
+from .graph import Graph, dataset, delaunay_country, grid_city, multi_city, radial_city
+
+__all__ = [
+    "Graph",
+    "RNE",
+    "RNEConfig",
+    "RNEModel",
+    "build_rne",
+    "dataset",
+    "delaunay_country",
+    "grid_city",
+    "multi_city",
+    "radial_city",
+]
+
+__version__ = "1.0.0"

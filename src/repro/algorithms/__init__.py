@@ -1,0 +1,42 @@
+"""Shortest-path algorithm substrate: exact and approximate baselines."""
+
+from .ach import ApproximateCH
+from .apsp import AllPairsIndex
+from .astar import astar, astar_alt, astar_euclidean
+from .ch import ContractionHierarchy
+from .h2h import H2HIndex
+from .dijkstra import (
+    INF,
+    bidirectional_dijkstra,
+    dijkstra,
+    dijkstra_path,
+    eccentricity,
+    graph_diameter_estimate,
+    pair_distances,
+    sssp_many,
+)
+from .hub_labels import HubLabels
+from .landmarks import LTEstimator, select_landmarks
+from .oracle import DistanceOracle
+
+__all__ = [
+    "INF",
+    "AllPairsIndex",
+    "ApproximateCH",
+    "ContractionHierarchy",
+    "DistanceOracle",
+    "H2HIndex",
+    "HubLabels",
+    "LTEstimator",
+    "astar",
+    "astar_alt",
+    "astar_euclidean",
+    "bidirectional_dijkstra",
+    "dijkstra",
+    "dijkstra_path",
+    "eccentricity",
+    "graph_diameter_estimate",
+    "pair_distances",
+    "select_landmarks",
+    "sssp_many",
+]

@@ -1,0 +1,65 @@
+"""SILC-style all-pairs distance index (Samet et al., SIGMOD'08).
+
+The paper's related work cites SILC as the extreme point of the
+space/time trade-off for kNN: precompute *everything*, answer in O(1).
+This module provides that corner honestly: a dense ``|V| x |V|`` distance
+matrix with O(1) lookups and an explicit quadratic memory cost — the cost
+whose infeasibility at road-network scale (Sec. III-B of the paper)
+motivates embeddings in the first place.
+
+A ``memory_limit`` guard refuses construction beyond a byte budget,
+reproducing the scalability wall instead of silently swapping.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph import Graph
+from .dijkstra import sssp_many
+
+
+class AllPairsIndex:
+    """Dense all-pairs shortest-distance matrix with O(1) queries.
+
+    Parameters
+    ----------
+    graph:
+        The road network.
+    memory_limit:
+        Maximum matrix size in bytes (default 512 MB); a graph whose
+        ``8 n^2`` exceeds it raises ``MemoryError`` — the paper's
+        ``Theta(|V|^2)`` infeasibility argument, made executable.
+    """
+
+    def __init__(self, graph: Graph, *, memory_limit: int = 512 * 1024**2) -> None:
+        needed = 8 * graph.n * graph.n
+        if needed > memory_limit:
+            raise MemoryError(
+                f"all-pairs matrix needs {needed / 1024**2:.0f} MB "
+                f"(> limit {memory_limit / 1024**2:.0f} MB); this is the "
+                "Theta(|V|^2) wall that motivates RNE"
+            )
+        self.graph = graph
+        self.matrix = sssp_many(graph, np.arange(graph.n))
+
+    def query(self, s: int, t: int) -> float:
+        """Exact distance, O(1)."""
+        return float(self.matrix[s, t])
+
+    def query_pairs(self, pairs: np.ndarray) -> np.ndarray:
+        pairs = np.asarray(pairs, dtype=np.int64)
+        return self.matrix[pairs[:, 0], pairs[:, 1]]
+
+    def knn(self, source: int, targets: np.ndarray, k: int) -> np.ndarray:
+        """Exact kNN by scanning one precomputed row."""
+        targets = np.asarray(targets, dtype=np.int64)
+        dists = self.matrix[source, targets]
+        return targets[np.argsort(dists, kind="stable")[:k]]
+
+    def range_query(self, source: int, targets: np.ndarray, tau: float) -> np.ndarray:
+        targets = np.asarray(targets, dtype=np.int64)
+        return np.sort(targets[self.matrix[source, targets] <= tau])
+
+    def index_bytes(self) -> int:
+        return int(self.matrix.nbytes)

@@ -1,0 +1,253 @@
+"""Contraction Hierarchies (CH) — exact, and the ACH approximate variant.
+
+CH [Geisberger et al., 2008] contracts vertices in importance order; when a
+vertex ``v`` is removed, a *shortcut* ``(u, w)`` preserving ``d(u, w)`` is
+added for every neighbour pair whose shortest connection ran through ``v``
+and which has no *witness* path avoiding ``v``.  Point-to-point queries then
+run a bidirectional Dijkstra that only ever relaxes edges towards more
+important vertices, which on road networks settles a tiny search space.
+
+ACH [Geisberger & Schieferdecker, 2010] relaxes the witness test: a shortcut
+is skipped whenever some replacement path is at most ``(1 + epsilon)`` times
+longer, trading a bounded relative error for far fewer shortcuts — the
+paper's main approximate index baseline.
+
+Setting ``epsilon=0`` yields exact CH; ``epsilon>0`` yields ACH.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from ..graph import Graph
+from .dijkstra import INF
+
+
+class ContractionHierarchy:
+    """CH / ACH index over an undirected positively weighted graph.
+
+    Parameters
+    ----------
+    graph:
+        The road network.
+    epsilon:
+        Witness slack.  ``0`` builds an exact CH; ``epsilon > 0`` builds the
+        heuristic ACH whose query results may exceed the true distance.
+    witness_hop_cap:
+        Max settled vertices per witness search; bounds preprocessing time
+        at the cost of (possibly) extra shortcuts, never of correctness.
+    seed:
+        Tie-breaking seed for the contraction order.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        *,
+        epsilon: float = 0.0,
+        witness_hop_cap: int = 60,
+        seed: int | None = 0,
+    ) -> None:
+        if epsilon < 0:
+            raise ValueError(f"epsilon must be >= 0, got {epsilon}")
+        self.graph = graph
+        self.epsilon = float(epsilon)
+        self._witness_cap = int(witness_hop_cap)
+        self.rank = np.empty(graph.n, dtype=np.int64)
+        self.num_shortcuts = 0
+        self._up_adj: list[list[tuple[int, float]]] = [[] for _ in range(graph.n)]
+        self._build(np.random.default_rng(seed))
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _build(self, rng: np.random.Generator) -> None:
+        g = self.graph
+        # Dynamic adjacency over the not-yet-contracted core.
+        adj: list[dict[int, float]] = [dict() for _ in range(g.n)]
+        for e in g.edges():
+            adj[e.u][e.v] = min(adj[e.u].get(e.v, INF), e.weight)
+            adj[e.v][e.u] = min(adj[e.v].get(e.u, INF), e.weight)
+
+        contracted = np.zeros(g.n, dtype=bool)
+        deleted_neighbors = np.zeros(g.n, dtype=np.int64)
+        jitter = rng.random(g.n) * 1e-6  # stable random tie-breaking
+
+        def priority(v: int) -> float:
+            shortcuts = self._simulate_contraction(adj, contracted, v)
+            edge_diff = len(shortcuts) - len(adj[v])
+            return edge_diff + deleted_neighbors[v] + jitter[v]
+
+        heap = [(priority(v), v) for v in range(g.n)]
+        heapq.heapify(heap)
+
+        next_rank = 0
+        while heap:
+            _, v = heapq.heappop(heap)
+            if contracted[v]:
+                continue
+            # Lazy update: recompute; if no longer minimal, reinsert.
+            prio = priority(v)
+            if heap and prio > heap[0][0]:
+                heapq.heappush(heap, (prio, v))
+                continue
+
+            shortcuts = self._simulate_contraction(adj, contracted, v)
+            self.rank[v] = next_rank
+            next_rank += 1
+            contracted[v] = True
+
+            # v's surviving edges all point to higher-ranked vertices now.
+            self._up_adj[v] = [(u, w) for u, w in adj[v].items()]
+            for u in adj[v]:
+                del adj[u][v]
+                deleted_neighbors[u] += 1
+            for u, w, weight in shortcuts:
+                if weight < adj[u].get(w, INF):
+                    adj[u][w] = weight
+                    adj[w][u] = weight
+                    self.num_shortcuts += 1
+
+    def _simulate_contraction(
+        self,
+        adj: list[dict[int, float]],
+        contracted: np.ndarray,
+        v: int,
+    ) -> list[tuple[int, int, float]]:
+        """Shortcuts needed if ``v`` were contracted now.
+
+        For each uncontracted neighbour pair ``(u, w)``, a witness search in
+        the core (excluding ``v``) checks whether a path no longer than
+        ``(1 + epsilon) * (w(u,v) + w(v,w))`` exists; if not, the shortcut
+        ``(u, w)`` with the exact through-``v`` length is required.
+        """
+        neighbors = [(u, w) for u, w in adj[v].items() if not contracted[u]]
+        shortcuts: list[tuple[int, int, float]] = []
+        for i, (u, wu) in enumerate(neighbors):
+            # One witness Dijkstra from u covers all targets w.
+            targets = {
+                t: wu + wt for t, wt in neighbors[i + 1 :]
+            }
+            if not targets:
+                continue
+            limit = (1.0 + self.epsilon) * max(targets.values())
+            found = self._witness_search(adj, contracted, u, v, set(targets), limit)
+            for t, via in targets.items():
+                witness = found.get(t, INF)
+                if witness > (1.0 + self.epsilon) * via:
+                    shortcuts.append((u, t, via))
+        return shortcuts
+
+    def _witness_search(
+        self,
+        adj: list[dict[int, float]],
+        contracted: np.ndarray,
+        source: int,
+        excluded: int,
+        targets: set[int],
+        limit: float,
+    ) -> dict[int, float]:
+        """Bounded Dijkstra from ``source`` avoiding ``excluded``.
+
+        Returns settled distances for the requested targets (missing target
+        means no witness within the limit / hop cap was found).
+        """
+        dist = {source: 0.0}
+        heap: list[tuple[float, int]] = [(0.0, source)]
+        settled: set[int] = set()
+        found: dict[int, float] = {}
+        remaining = set(targets)
+        budget = self._witness_cap
+        while heap and remaining and budget > 0:
+            d, x = heapq.heappop(heap)
+            if x in settled:
+                continue
+            if d > limit:
+                break
+            settled.add(x)
+            budget -= 1
+            if x in remaining:
+                found[x] = d
+                remaining.discard(x)
+            for y, w in adj[x].items():
+                if y == excluded or contracted[y]:
+                    continue
+                nd = d + w
+                if nd <= limit and nd < dist.get(y, INF):
+                    dist[y] = nd
+                    heapq.heappush(heap, (nd, y))
+        return found
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def query(self, s: int, t: int) -> float:
+        """Point-to-point distance via bidirectional upward search.
+
+        Exact for ``epsilon == 0``; within the ACH error bound otherwise.
+        Returns ``inf`` when ``t`` is unreachable from ``s``.
+        """
+        if s == t:
+            return 0.0
+        dist_f = {s: 0.0}
+        dist_b = {t: 0.0}
+        heap_f: list[tuple[float, int]] = [(0.0, s)]
+        heap_b: list[tuple[float, int]] = [(0.0, t)]
+        best = INF
+
+        def settle(
+            heap: list[tuple[float, int]],
+            dist: dict[int, float],
+            other: dict[int, float],
+        ) -> None:
+            nonlocal best
+            d, u = heapq.heappop(heap)
+            if d > dist.get(u, INF):
+                return
+            if u in other:
+                best = min(best, d + other[u])
+            if d >= best:
+                return
+            for v, w in self._up_adj[u]:
+                nd = d + w
+                if nd < dist.get(v, INF) and nd < best:
+                    dist[v] = nd
+                    heapq.heappush(heap, (nd, v))
+
+        while heap_f or heap_b:
+            key_f = heap_f[0][0] if heap_f else INF
+            key_b = heap_b[0][0] if heap_b else INF
+            if min(key_f, key_b) >= best:
+                break
+            if key_f <= key_b:
+                settle(heap_f, dist_f, dist_b)
+            else:
+                settle(heap_b, dist_b, dist_f)
+        return best
+
+    def search_space(self, s: int) -> dict[int, float]:
+        """Upward search space of ``s``: hub vertex -> distance.
+
+        This is the building block for CH-based hub labelling.
+        """
+        dist = {s: 0.0}
+        heap: list[tuple[float, int]] = [(0.0, s)]
+        out: dict[int, float] = {}
+        while heap:
+            d, u = heapq.heappop(heap)
+            if d > dist.get(u, INF):
+                continue
+            out[u] = d
+            for v, w in self._up_adj[u]:
+                nd = d + w
+                if nd < dist.get(v, INF):
+                    dist[v] = nd
+                    heapq.heappush(heap, (nd, v))
+        return out
+
+    def index_bytes(self) -> int:
+        """Approximate memory footprint of the upward graph."""
+        entries = sum(len(lst) for lst in self._up_adj)
+        return entries * 16 + self.rank.nbytes  # (int64, float64) per edge

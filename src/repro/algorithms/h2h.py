@@ -1,0 +1,190 @@
+"""H2H: tree-decomposition-based 2-hop labelling (Ouyang et al., SIGMOD'18).
+
+The paper's fastest exact baseline.  Construction:
+
+1. **Tree decomposition** by minimum-degree elimination: vertices are
+   eliminated in degree order; eliminating ``v`` connects its remaining
+   neighbours with fill-in edges carrying through-``v`` distances.  The bag
+   ``X(v)`` is ``{v} + N_up(v)`` (v's neighbours at elimination time) and
+   v's tree parent is its earliest-eliminated up-neighbour.
+2. **Ancestor labels**, computed root-down: the ancestors of ``v`` form a
+   chain, every up-neighbour of ``v`` lies on it, and
+
+       d(v, a) = min over u in N_up(v) of  w'(v, u) + d(u, a)
+
+   over augmented weights ``w'``, which is exact for every ancestor ``a``
+   (the H2H invariant).  Each vertex stores distances to its whole
+   ancestor chain, indexed by depth.
+
+Queries: ``d(s, t) = min over x in X(lca(s,t)) of d(s, x) + d(t, x)`` —
+an ``O(treewidth)`` scan over two arrays, no graph search.
+
+The repo also ships CH-based hub labels (`hub_labels.py`); H2H typically
+has larger labels but an even smaller candidate set per query.  Both are
+exact, and the benchmark registry exposes both.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from ..graph import Graph
+from .dijkstra import INF
+
+
+class H2HIndex:
+    """Exact H2H distance index over an undirected weighted graph.
+
+    Parameters
+    ----------
+    graph:
+        The road network (need not be connected — cross-component queries
+        return ``inf``).
+    """
+
+    def __init__(self, graph: Graph) -> None:
+        self.graph = graph
+        n = graph.n
+        self._order = np.empty(n, dtype=np.int64)  # elimination rank
+        self.parent = np.full(n, -1, dtype=np.int64)
+        self._bags: list[np.ndarray] = [np.empty(0, dtype=np.int64)] * n
+        self._bag_weights: list[np.ndarray] = [np.empty(0)] * n
+        self._eliminate()
+        self.depth = np.zeros(n, dtype=np.int64)
+        self._root_of = np.empty(n, dtype=np.int64)
+        self._anc_dist: list[np.ndarray] = [np.empty(0)] * n
+        self._bag_depths: list[np.ndarray] = [np.empty(0, dtype=np.int64)] * n
+        self._build_labels()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _eliminate(self) -> None:
+        """Minimum-degree elimination with through-vertex fill-in."""
+        g = self.graph
+        adj: list[dict[int, float]] = [dict() for _ in range(g.n)]
+        for e in g.edges():
+            adj[e.u][e.v] = min(adj[e.u].get(e.v, INF), e.weight)
+            adj[e.v][e.u] = min(adj[e.v].get(e.u, INF), e.weight)
+
+        heap = [(len(adj[v]), v) for v in range(g.n)]
+        heapq.heapify(heap)
+        eliminated = np.zeros(g.n, dtype=bool)
+        rank = 0
+        while heap:
+            deg, v = heapq.heappop(heap)
+            if eliminated[v]:
+                continue
+            if deg != len(adj[v]):
+                heapq.heappush(heap, (len(adj[v]), v))
+                continue
+            self._order[v] = rank
+            rank += 1
+            eliminated[v] = True
+
+            up = sorted(adj[v].keys())
+            self._bags[v] = np.asarray(up, dtype=np.int64)
+            self._bag_weights[v] = np.array([adj[v][u] for u in up])
+            # Fill-in: connect every pair of up-neighbours through v.
+            for i, a in enumerate(up):
+                wa = adj[v][a]
+                for b in up[i + 1 :]:
+                    via = wa + adj[v][b]
+                    if via < adj[a].get(b, INF):
+                        adj[a][b] = via
+                        adj[b][a] = via
+                del adj[a][v]
+            adj[v].clear()
+
+        # Parent = earliest-eliminated up-neighbour (all are eliminated
+        # after v, so the minimum rank among them is the tree parent).
+        for v in range(g.n):
+            bag = self._bags[v]
+            if bag.size:
+                self.parent[v] = int(bag[np.argmin(self._order[bag])])
+
+    def _build_labels(self) -> None:
+        """Root-down dynamic program over the elimination tree."""
+        n = self.graph.n
+        topdown = np.argsort(-self._order)  # roots (last eliminated) first
+        for v in topdown:
+            v = int(v)
+            p = int(self.parent[v])
+            if p == -1:
+                self.depth[v] = 0
+                self._root_of[v] = v
+                self._anc_dist[v] = np.zeros(1)
+                self._bag_depths[v] = np.empty(0, dtype=np.int64)
+                continue
+            self.depth[v] = self.depth[p] + 1
+            self._root_of[v] = self._root_of[p]
+            bag = self._bags[v]
+            wgt = self._bag_weights[v]
+            bag_depths = self.depth[bag]
+            self._bag_depths[v] = bag_depths
+
+            k = int(self.depth[v]) + 1
+            dist = np.full(k, INF)
+            dist[-1] = 0.0
+            # d(v, a) at ancestor depth j: min over up-neighbours u of
+            # w'(v,u) + d(u, a).  d(u, a) is u's label at depth j when
+            # j <= depth(u); when a == u it is 0 (handled by the label's
+            # own final entry).
+            for u, w in zip(bag, wgt):
+                lab_u = self._anc_dist[int(u)]
+                m = lab_u.size
+                np.minimum(dist[:m], w + lab_u, out=dist[:m])
+            self._anc_dist[v] = dist
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def _lca(self, a: int, b: int) -> int:
+        while self.depth[a] > self.depth[b]:
+            a = int(self.parent[a])
+        while self.depth[b] > self.depth[a]:
+            b = int(self.parent[b])
+        while a != b:
+            a = int(self.parent[a])
+            b = int(self.parent[b])
+        return a
+
+    def query(self, s: int, t: int) -> float:
+        """Exact shortest-path distance in O(treewidth)."""
+        if s == t:
+            return 0.0
+        if self._root_of[s] != self._root_of[t]:
+            return INF
+        lca = self._lca(s, t)
+        lab_s = self._anc_dist[s]
+        lab_t = self._anc_dist[t]
+        d_lca = int(self.depth[lca])
+        # Candidates: the LCA itself plus every vertex in its bag — all of
+        # them ancestors of both s and t, so both labels cover them.
+        best = lab_s[d_lca] + lab_t[d_lca]
+        for depth in self._bag_depths[lca]:
+            cand = lab_s[depth] + lab_t[depth]
+            if cand < best:
+                best = cand
+        return float(best)
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def treewidth_bound(self) -> int:
+        """Max bag size = (treewidth upper bound given the order)."""
+        return max((b.size for b in self._bags), default=0)
+
+    def tree_height(self) -> int:
+        return int(self.depth.max()) + 1 if self.graph.n else 0
+
+    def average_label_size(self) -> float:
+        return float(np.mean([lab.size for lab in self._anc_dist]))
+
+    def index_bytes(self) -> int:
+        """Label arrays + bag depth arrays (what queries touch)."""
+        labels = sum(lab.nbytes for lab in self._anc_dist)
+        bags = sum(b.nbytes for b in self._bag_depths)
+        return int(labels + bags)

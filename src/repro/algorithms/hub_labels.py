@@ -1,0 +1,128 @@
+"""Hub labelling — the exact label-based index standing in for H2H.
+
+H2H [Ouyang et al., 2018] combines tree decomposition with 2-hop labelling.
+We reproduce its query interface and trade-offs with CH-based hub labels
+[Abraham et al., 2011]: each vertex ``v`` stores its upward CH search space
+as a label ``L(v) = {(h, d(v, h))}``; for any pair the true distance is
+
+    d(s, t) = min over h in L(s) ∩ L(t) of  d_s(h) + d_t(h)
+
+because the maximum-rank vertex of a shortest path appears in both upward
+search spaces.  Queries are exact, search-free label scans — the same
+"large index, very fast exact query" profile the paper measures for H2H.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph import Graph
+from .ch import ContractionHierarchy
+from .dijkstra import INF
+
+
+class HubLabels:
+    """Exact 2-hop labels built from a contraction hierarchy.
+
+    Parameters
+    ----------
+    graph:
+        The road network.
+    ch:
+        Optionally a prebuilt *exact* :class:`ContractionHierarchy`; one is
+        constructed when omitted.
+    prune:
+        When true, label entries provably useless for any query (their
+        distance already dominated through higher hubs) are dropped,
+        shrinking the index at no accuracy cost.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        *,
+        ch: ContractionHierarchy | None = None,
+        prune: bool = True,
+        seed: int | None = 0,
+    ) -> None:
+        if ch is None:
+            ch = ContractionHierarchy(graph, epsilon=0.0, seed=seed)
+        if ch.epsilon != 0.0:
+            raise ValueError("hub labels require an exact CH (epsilon == 0)")
+        self.graph = graph
+        self._hubs: list[np.ndarray] = []
+        self._dists: list[np.ndarray] = []
+
+        # Build labels in decreasing rank order so pruning can use the
+        # already-final labels of higher-ranked hubs.
+        order = np.argsort(-ch.rank)
+        pending: list[tuple[int, dict[int, float]] | None] = [None] * graph.n
+        for v in order:
+            pending[v] = (v, ch.search_space(int(v)))
+        self._hubs = [np.empty(0, dtype=np.int64)] * graph.n
+        self._dists = [np.empty(0)] * graph.n
+        for v in order:
+            v = int(v)
+            space = pending[v][1]
+            if prune:
+                space = self._pruned(v, space)
+            hubs = np.fromiter(space.keys(), dtype=np.int64, count=len(space))
+            dists = np.fromiter(space.values(), dtype=np.float64, count=len(space))
+            idx = np.argsort(hubs)
+            self._hubs[v] = hubs[idx]
+            self._dists[v] = dists[idx]
+
+    def _pruned(self, v: int, space: dict[int, float]) -> dict[int, float]:
+        """Drop entries whose distance is matched via an existing label."""
+        kept: dict[int, float] = {}
+        for h, d in space.items():
+            if h == v:
+                kept[h] = d
+                continue
+            via = self._query_labels(self._label_of(h), self._pack(kept))
+            if via <= d + 1e-12:
+                continue
+            kept[h] = d
+        return kept
+
+    def _label_of(self, v: int) -> tuple[np.ndarray, np.ndarray]:
+        return self._hubs[v], self._dists[v]
+
+    @staticmethod
+    def _pack(space: dict[int, float]) -> tuple[np.ndarray, np.ndarray]:
+        hubs = np.fromiter(space.keys(), dtype=np.int64, count=len(space))
+        dists = np.fromiter(space.values(), dtype=np.float64, count=len(space))
+        idx = np.argsort(hubs)
+        return hubs[idx], dists[idx]
+
+    @staticmethod
+    def _query_labels(
+        a: tuple[np.ndarray, np.ndarray], b: tuple[np.ndarray, np.ndarray]
+    ) -> float:
+        hubs_a, dist_a = a
+        hubs_b, dist_b = b
+        if hubs_a.size == 0 or hubs_b.size == 0:
+            return INF
+        common, ia, ib = np.intersect1d(
+            hubs_a, hubs_b, assume_unique=True, return_indices=True
+        )
+        if common.size == 0:
+            return INF
+        return float(np.min(dist_a[ia] + dist_b[ib]))
+
+    # ------------------------------------------------------------------
+    def query(self, s: int, t: int) -> float:
+        """Exact shortest-path distance via label intersection."""
+        if s == t:
+            return 0.0
+        return self._query_labels(self._label_of(s), self._label_of(t))
+
+    def label_size(self, v: int) -> int:
+        return int(self._hubs[v].size)
+
+    def average_label_size(self) -> float:
+        return float(np.mean([h.size for h in self._hubs]))
+
+    def index_bytes(self) -> int:
+        """Total label memory (hub ids + distances)."""
+        return int(sum(h.nbytes + d.nbytes for h, d in zip(self._hubs, self._dists)))

@@ -1,0 +1,70 @@
+"""Exact network-distance kNN and range queries (ground truth).
+
+Used to score the approximate indexes of Sec. VI: a Dijkstra expansion from
+the source settles targets in increasing true-distance order, so stopping
+after ``k`` targets (or past the range threshold) is exact.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from ..graph import Graph
+
+
+def knn_true(graph: Graph, source: int, targets: np.ndarray, k: int) -> np.ndarray:
+    """The ``k`` targets nearest to ``source`` by true network distance."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    is_target = np.zeros(graph.n, dtype=bool)
+    is_target[np.asarray(targets, dtype=np.int64)] = True
+    dist = np.full(graph.n, np.inf)
+    dist[source] = 0.0
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    settled = np.zeros(graph.n, dtype=bool)
+    found: list[int] = []
+    while heap and len(found) < k:
+        d, u = heapq.heappop(heap)
+        if settled[u]:
+            continue
+        settled[u] = True
+        if is_target[u]:
+            found.append(u)
+        for v, w in zip(graph.neighbors(u), graph.neighbor_weights(u)):
+            nd = d + w
+            if nd < dist[v]:
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+    return np.array(found, dtype=np.int64)
+
+
+def range_true(
+    graph: Graph, source: int, targets: np.ndarray, tau: float
+) -> np.ndarray:
+    """All targets within true network distance ``tau`` of ``source``."""
+    if tau < 0:
+        raise ValueError(f"tau must be >= 0, got {tau}")
+    is_target = np.zeros(graph.n, dtype=bool)
+    is_target[np.asarray(targets, dtype=np.int64)] = True
+    dist = np.full(graph.n, np.inf)
+    dist[source] = 0.0
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    settled = np.zeros(graph.n, dtype=bool)
+    found: list[int] = []
+    while heap:
+        d, u = heapq.heappop(heap)
+        if settled[u]:
+            continue
+        if d > tau:
+            break  # everything still queued is farther than tau
+        settled[u] = True
+        if is_target[u]:
+            found.append(u)
+        for v, w in zip(graph.neighbors(u), graph.neighbor_weights(u)):
+            nd = d + w
+            if nd < dist[v]:
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+    return np.array(sorted(found), dtype=np.int64)

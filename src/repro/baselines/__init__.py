@@ -1,0 +1,18 @@
+"""Baseline estimators: geometric, social-embedding regression, G-tree."""
+
+from .deepwalk import DeepWalk, random_walks
+from .dr import DeepWalkRegression
+from .geometric import GeometricEstimator
+from .gtree import GTree
+from .mlp import MLPRegressor
+from .vtree import GTreeIndex
+
+__all__ = [
+    "DeepWalk",
+    "DeepWalkRegression",
+    "GTree",
+    "GTreeIndex",
+    "GeometricEstimator",
+    "MLPRegressor",
+    "random_walks",
+]

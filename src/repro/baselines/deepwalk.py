@@ -1,0 +1,165 @@
+"""DeepWalk from scratch: random walks + skip-gram with negative sampling.
+
+The paper's DR ablation (Fig. 14) pits RNE against a *social* embedding —
+DeepWalk [23] — whose vectors feed a neural regressor for distances.  No
+gensim here: walks, the SGNS objective and its SGD updates are implemented
+directly in numpy.
+
+DeepWalk optimises co-occurrence similarity, not metric distance, which is
+exactly why the paper argues (and Fig. 14 shows) it needs a large regressor
+on top and still loses to the purpose-built L1 embedding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph import Graph
+
+
+def random_walks(
+    graph: Graph,
+    *,
+    num_walks: int = 10,
+    walk_length: int = 40,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Uniform random walks, ``num_walks`` starting at every vertex.
+
+    Returns an ``(num_walks * n, walk_length)`` int array.  Walks stop
+    early (padded by repeating the last vertex) only at isolated vertices,
+    which road networks do not have.
+    """
+    rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    walks = np.empty((num_walks * graph.n, walk_length), dtype=np.int64)
+    row = 0
+    for _ in range(num_walks):
+        starts = rng.permutation(graph.n)
+        for start in starts:
+            v = int(start)
+            walks[row, 0] = v
+            for step in range(1, walk_length):
+                nbrs = graph.neighbors(v)
+                if nbrs.size == 0:
+                    walks[row, step:] = v
+                    break
+                v = int(nbrs[rng.integers(nbrs.size)])
+                walks[row, step] = v
+            row += 1
+    return walks
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -30.0, 30.0)))
+
+
+class DeepWalk:
+    """Skip-gram-with-negative-sampling embedding over random walks.
+
+    Parameters
+    ----------
+    graph:
+        The network to embed.
+    d:
+        Embedding dimension.
+    window:
+        Skip-gram context radius within a walk.
+    negatives:
+        Negative samples per positive pair.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        d: int = 64,
+        *,
+        num_walks: int = 8,
+        walk_length: int = 30,
+        window: int = 5,
+        negatives: int = 5,
+        epochs: int = 2,
+        lr: float = 0.025,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+        self.graph = graph
+        self.d = int(d)
+        walks = random_walks(
+            graph, num_walks=num_walks, walk_length=walk_length, rng=rng
+        )
+        pairs = self._context_pairs(walks, window)
+        freq = np.bincount(walks.ravel(), minlength=graph.n).astype(np.float64)
+        noise = np.power(freq + 1.0, 0.75)
+        self._noise_cdf = np.cumsum(noise / noise.sum())
+
+        bound = 0.5 / self.d
+        self.w_in = rng.uniform(-bound, bound, size=(graph.n, self.d))
+        self.w_out = np.zeros((graph.n, self.d))
+        self._train(pairs, negatives, epochs, lr, rng)
+
+    @staticmethod
+    def _context_pairs(walks: np.ndarray, window: int) -> np.ndarray:
+        """All (centre, context) pairs within the window, across all walks."""
+        chunks = []
+        length = walks.shape[1]
+        for offset in range(1, window + 1):
+            if offset >= length:
+                break
+            left = walks[:, :-offset].ravel()
+            right = walks[:, offset:].ravel()
+            chunks.append(np.column_stack([left, right]))
+            chunks.append(np.column_stack([right, left]))
+        return np.vstack(chunks)
+
+    def _sample_noise(self, shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+        return np.searchsorted(self._noise_cdf, rng.random(shape))
+
+    def _train(
+        self,
+        pairs: np.ndarray,
+        negatives: int,
+        epochs: int,
+        lr: float,
+        rng: np.random.Generator,
+        *,
+        batch_size: int = 4096,
+    ) -> None:
+        for epoch in range(epochs):
+            order = rng.permutation(len(pairs))
+            step_lr = lr * (1.0 - epoch / max(epochs, 1))
+            step_lr = max(step_lr, lr * 0.1)
+            for start in range(0, len(pairs), batch_size):
+                batch = pairs[order[start : start + batch_size]]
+                centres = batch[:, 0]
+                contexts = batch[:, 1]
+                negs = self._sample_noise((len(batch), negatives), rng)
+
+                vin = self.w_in[centres]                     # (B, d)
+                vpos = self.w_out[contexts]                  # (B, d)
+                vneg = self.w_out[negs]                      # (B, K, d)
+
+                pos_score = _sigmoid(np.einsum("bd,bd->b", vin, vpos))
+                neg_score = _sigmoid(np.einsum("bd,bkd->bk", vin, vneg))
+
+                g_pos = (pos_score - 1.0)[:, None]           # dL/d(vin·vpos)
+                g_neg = neg_score[..., None]                 # dL/d(vin·vneg)
+
+                grad_in = g_pos * vpos + (g_neg * vneg).sum(axis=1)
+                np.add.at(self.w_out, contexts, -step_lr * g_pos * vin)
+                np.add.at(
+                    self.w_out,
+                    negs.ravel(),
+                    (-step_lr * g_neg * vin[:, None, :]).reshape(-1, self.d),
+                )
+                np.add.at(self.w_in, centres, -step_lr * grad_in)
+
+    @property
+    def vectors(self) -> np.ndarray:
+        """The learned input embeddings (the conventional DeepWalk output)."""
+        return self.w_in
+
+    def similarity(self, u: int, v: int) -> float:
+        """Cosine similarity — what DeepWalk vectors actually encode."""
+        a, b = self.w_in[u], self.w_in[v]
+        denom = np.linalg.norm(a) * np.linalg.norm(b)
+        return float(a @ b / denom) if denom > 0 else 0.0

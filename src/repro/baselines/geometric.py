@@ -1,0 +1,91 @@
+"""Geometric distance baselines: Euclidean and Manhattan (paper Sec. VII).
+
+The simplest estimators use raw vertex coordinates — the straight-line
+(Euclidean) or the axis-aligned (Manhattan / L1) distance.  They are
+extremely fast and index-free but ignore the road topology entirely, which
+is why the paper reports 11-16% relative error for them.  For kNN and range
+queries they pair with a KD-tree (the paper's Fig. 16 baseline).
+
+An optional one-scalar calibration (mean detour ratio) is provided: it
+improves raw errors considerably and makes the baseline less of a strawman,
+but it is *off* by default to match the paper's setup.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from ..graph import Graph
+
+
+class GeometricEstimator:
+    """Coordinate-based distance estimates plus KD-tree spatial queries.
+
+    Parameters
+    ----------
+    graph:
+        Road network with coordinates (required).
+    metric:
+        ``"euclidean"`` (straight line) or ``"manhattan"`` (L1 on
+        coordinates).
+    scale:
+        Multiplier applied to every estimate; 1.0 = raw geometry.  Use
+        :meth:`calibrate` to fit it from labelled pairs.
+    """
+
+    def __init__(self, graph: Graph, metric: str = "euclidean", *, scale: float = 1.0):
+        if graph.coords is None:
+            raise ValueError("GeometricEstimator requires vertex coordinates")
+        if metric not in ("euclidean", "manhattan"):
+            raise ValueError(f"metric must be euclidean or manhattan, got {metric!r}")
+        self.graph = graph
+        self.metric = metric
+        self.scale = float(scale)
+        self._p = 2 if metric == "euclidean" else 1
+        self._tree = cKDTree(graph.coords)
+
+    # ------------------------------------------------------------------
+    def query(self, s: int, t: int) -> float:
+        diff = self.graph.coords[s] - self.graph.coords[t]
+        return self.scale * float(np.linalg.norm(diff, ord=self._p))
+
+    def query_pairs(self, pairs: np.ndarray) -> np.ndarray:
+        pairs = np.asarray(pairs, dtype=np.int64)
+        diff = self.graph.coords[pairs[:, 0]] - self.graph.coords[pairs[:, 1]]
+        return self.scale * np.linalg.norm(diff, ord=self._p, axis=1)
+
+    def calibrate(self, pairs: np.ndarray, phi: np.ndarray) -> float:
+        """Fit ``scale`` as the mean detour ratio on labelled pairs.
+
+        Returns the fitted scale (also stored).  Least-squares in log space
+        would weight long pairs less; the mean ratio is the conventional
+        "detour index" used in transport geography.
+        """
+        raw = self.query_pairs(pairs) / self.scale
+        ok = raw > 0
+        self.scale = float(np.mean(np.asarray(phi)[ok] / raw[ok]))
+        return self.scale
+
+    # ------------------------------------------------------------------
+    def knn(self, source: int, targets: np.ndarray, k: int) -> np.ndarray:
+        """k nearest targets by (scaled) geometric distance via KD-tree."""
+        targets = np.asarray(targets, dtype=np.int64)
+        sub_tree = cKDTree(self.graph.coords[targets])
+        k_eff = min(k, targets.size)
+        _, idx = sub_tree.query(self.graph.coords[source], k=k_eff, p=self._p)
+        idx = np.atleast_1d(idx)
+        return targets[idx]
+
+    def range_query(self, source: int, targets: np.ndarray, tau: float) -> np.ndarray:
+        """Targets within (scaled) geometric distance ``tau``."""
+        targets = np.asarray(targets, dtype=np.int64)
+        sub_tree = cKDTree(self.graph.coords[targets])
+        hits = sub_tree.query_ball_point(
+            self.graph.coords[source], r=tau / self.scale, p=self._p
+        )
+        return np.sort(targets[np.asarray(hits, dtype=np.int64)])
+
+    def index_bytes(self) -> int:
+        """KD-tree memory is ~coordinates size."""
+        return int(self.graph.coords.nbytes)

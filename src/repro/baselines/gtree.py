@@ -1,0 +1,276 @@
+"""Multi-level G-tree distance index (Zhong et al., CIKM'13 / TKDE'15).
+
+The full hierarchical form of the partition index (``vtree.py`` implements
+the two-level special case used for kNN).  Structure, per tree node:
+
+* **leaf** — distances from each of the leaf's *borders* (vertices with an
+  edge leaving the leaf) to every vertex inside, computed within the leaf
+  subgraph;
+* **internal node** — a distance matrix over the union of its children's
+  borders, computed within the node's subgraph by running Dijkstra over
+  the "super graph" whose edges are the children's matrices plus the
+  original cut edges between children.
+
+A query climbs from both leaves: the border-distance vectors of ``s`` and
+``t`` are min-plus-extended through each ancestor's matrix, combined at
+the LCA and again at *every higher ancestor* (a shortest path may leave
+the LCA's region and come back), which makes the assembly exact — at the
+root the region is the whole graph.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..algorithms.dijkstra import INF, sssp_many
+from ..graph import Graph, PartitionHierarchy
+
+
+class GTree:
+    """Exact multi-level G-tree over a road network.
+
+    Parameters
+    ----------
+    graph:
+        The road network.
+    fanout, leaf_size:
+        Partition-tree shape (as in the paper's G-tree experiments).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        *,
+        fanout: int = 4,
+        leaf_size: int = 32,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        self.graph = graph
+        self.hierarchy = PartitionHierarchy(
+            graph, fanout=fanout, leaf_size=leaf_size, seed=seed
+        )
+        self._leaf_level = self.hierarchy.num_subgraph_levels - 1
+
+        # Per-node borders: vertices with an edge leaving the node's set.
+        us, vs, _ = graph.edge_array()
+        self._borders: dict[int, np.ndarray] = {}
+        for node in self.hierarchy.nodes:
+            if node.level > self._leaf_level:
+                continue
+            inside = np.zeros(graph.n, dtype=bool)
+            inside[node.vertices] = True
+            cross = inside[us] != inside[vs]
+            b = np.unique(
+                np.concatenate([us[cross][inside[us[cross]]],
+                                vs[cross][inside[vs[cross]]]])
+            )
+            self._borders[node.id] = b
+
+        self._leaf_of = np.empty(graph.n, dtype=np.int64)
+        for node_id in self.hierarchy.levels[self._leaf_level]:
+            self._leaf_of[self.hierarchy.nodes[node_id].vertices] = node_id
+
+        self._leaf_graphs: dict[int, Graph] = {}
+        self._leaf_pos: dict[int, dict[int, int]] = {}
+        self._leaf_mat: dict[int, np.ndarray] = {}
+        self._build_leaves()
+
+        # Internal matrices, built bottom-up.  A virtual root (id -1) over
+        # the level-0 cells covers queries that cross top-level regions.
+        self.VIRTUAL_ROOT = -1
+        self._borders[self.VIRTUAL_ROOT] = np.empty(0, dtype=np.int64)
+        self._U: dict[int, np.ndarray] = {}       # node -> candidate vertex ids
+        self._U_pos: dict[int, dict[int, int]] = {}
+        self._D: dict[int, np.ndarray] = {}       # node -> |U| x |U| distances
+        self._build_internal()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _build_leaves(self) -> None:
+        for node_id in self.hierarchy.levels[self._leaf_level]:
+            node = self.hierarchy.nodes[node_id]
+            sub, mapping = self.graph.subgraph(node.vertices)
+            pos = {int(v): i for i, v in enumerate(mapping)}
+            borders = self._borders[node_id]
+            local_borders = np.array([pos[int(b)] for b in borders], dtype=np.int64)
+            mat = (
+                sssp_many(sub, local_borders)
+                if local_borders.size
+                else np.empty((0, sub.n))
+            )
+            self._leaf_graphs[node_id] = sub
+            self._leaf_pos[node_id] = pos
+            self._leaf_mat[node_id] = mat
+
+    def _children_at_or_leaf(self, node_id: int) -> list[int]:
+        return self.hierarchy.nodes[node_id].children
+
+    def _node_border_matrix(self, node_id: int) -> tuple[np.ndarray, np.ndarray]:
+        """(border ids, border-to-border matrix within the node's region)."""
+        node = self.hierarchy.nodes[node_id]
+        borders = self._borders[node_id]
+        if node.level == self._leaf_level:
+            pos = self._leaf_pos[node_id]
+            cols = np.array([pos[int(b)] for b in borders], dtype=np.int64)
+            mat = self._leaf_mat[node_id][:, cols] if borders.size else np.empty((0, 0))
+            return borders, mat
+        u = self._U[node_id]
+        upos = self._U_pos[node_id]
+        idx = np.array([upos[int(b)] for b in borders], dtype=np.int64)
+        return borders, self._D[node_id][np.ix_(idx, idx)]
+
+    def _node_children(self, node_id: int) -> list[int]:
+        if node_id == self.VIRTUAL_ROOT:
+            return list(self.hierarchy.levels[0])
+        return self.hierarchy.nodes[node_id].children
+
+    def _node_parent(self, node_id: int) -> int | None:
+        if node_id == self.VIRTUAL_ROOT:
+            return None
+        parent = self.hierarchy.nodes[node_id].parent
+        return self.VIRTUAL_ROOT if parent is None else parent
+
+    def _node_vertices(self, node_id: int) -> np.ndarray:
+        if node_id == self.VIRTUAL_ROOT:
+            return np.arange(self.graph.n, dtype=np.int64)
+        return self.hierarchy.nodes[node_id].vertices
+
+    def _build_internal(self) -> None:
+        us, vs, ws = self.graph.edge_array()
+        internal: list[int] = [self.VIRTUAL_ROOT]
+        for level in range(self._leaf_level):
+            internal.extend(self.hierarchy.levels[level])
+        # Bottom-up: deepest internal nodes first, virtual root last.
+        internal.sort(
+            key=lambda i: -1 if i == self.VIRTUAL_ROOT else self.hierarchy.nodes[i].level,
+            reverse=True,
+        )
+        for node_id in internal:
+            children = self._node_children(node_id)
+            cand: list[int] = []
+            for c in children:
+                cand.extend(int(b) for b in self._borders[c])
+            cand_arr = np.unique(np.array(cand, dtype=np.int64))
+            pos = {int(v): i for i, v in enumerate(cand_arr)}
+            k = cand_arr.size
+            self._U[node_id] = cand_arr
+            self._U_pos[node_id] = pos
+            if k == 0:
+                self._D[node_id] = np.empty((0, 0))
+                continue
+
+            # Super graph on the candidates: children's border matrices
+            # plus original cut edges between children.
+            edges: list[tuple[int, int, float]] = []
+            for c in children:
+                cb, cmat = self._node_border_matrix(c)
+                for i in range(cb.size):
+                    for j in range(i + 1, cb.size):
+                        w = float(cmat[i, j])
+                        if np.isfinite(w):
+                            edges.append((pos[int(cb[i])], pos[int(cb[j])], w))
+            inside = np.zeros(self.graph.n, dtype=bool)
+            inside[self._node_vertices(node_id)] = True
+            child_of = {}
+            for c in children:
+                for v in self.hierarchy.nodes[c].vertices:
+                    child_of[int(v)] = c
+            mask = inside[us] & inside[vs]
+            for u, v, w in zip(us[mask], vs[mask], ws[mask]):
+                u, v = int(u), int(v)
+                if child_of.get(u) != child_of.get(v):
+                    edges.append((pos[u], pos[v], float(w)))
+
+            if edges:
+                super_graph = Graph(k, edges)
+                self._D[node_id] = sssp_many(super_graph, np.arange(k))
+            else:
+                d = np.full((k, k), INF)
+                np.fill_diagonal(d, 0.0)
+                self._D[node_id] = d
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def _leaf_vector(self, v: int) -> tuple[int, np.ndarray, np.ndarray]:
+        """(leaf id, border ids, distances v -> borders within the leaf)."""
+        leaf = int(self._leaf_of[v])
+        borders = self._borders[leaf]
+        col = self._leaf_pos[leaf][v]
+        return leaf, borders, self._leaf_mat[leaf][:, col]
+
+    def _extend(
+        self, node_id: int, ids: np.ndarray, vec: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Min-plus extend a border vector onto ``node_id``'s candidates."""
+        u = self._U[node_id]
+        pos = self._U_pos[node_id]
+        rows = np.array([pos[int(b)] for b in ids], dtype=np.int64)
+        out = np.min(vec[:, None] + self._D[node_id][rows], axis=0)
+        return u, out
+
+    def query(self, s: int, t: int) -> float:
+        """Exact shortest-path distance via hierarchical assembly."""
+        if s == t:
+            return 0.0
+        leaf_s, ids_s, vec_s = self._leaf_vector(s)
+        leaf_t, ids_t, vec_t = self._leaf_vector(t)
+
+        best = INF
+        if leaf_s == leaf_t:
+            sub = self._leaf_graphs[leaf_s]
+            pos = self._leaf_pos[leaf_s]
+            row = sssp_many(sub, [pos[s]])[0]
+            best = float(row[pos[t]])
+
+        node_s = self._node_parent(leaf_s)
+        node_t = self._node_parent(leaf_t)
+        # Climb to the common ancestor, extending each side's vector.
+        # Aligned levels mean both sides climb in lockstep.
+        while node_s != node_t:
+            ids_s, vec_s = self._to_node_borders(node_s, ids_s, vec_s)
+            ids_t, vec_t = self._to_node_borders(node_t, ids_t, vec_t)
+            node_s = self._node_parent(node_s)
+            node_t = self._node_parent(node_t)
+
+        # Combine at the LCA and at every higher ancestor: a shortest path
+        # may leave any region below the root and return.
+        node = node_s
+        while node is not None:
+            pos = self._U_pos[node]
+            if ids_s.size and ids_t.size:
+                rows = np.array([pos[int(b)] for b in ids_s], dtype=np.int64)
+                cols = np.array([pos[int(b)] for b in ids_t], dtype=np.int64)
+                via = vec_s[:, None] + self._D[node][np.ix_(rows, cols)] + vec_t[None, :]
+                best = min(best, float(via.min()))
+            ids_s, vec_s = self._to_node_borders(node, ids_s, vec_s)
+            ids_t, vec_t = self._to_node_borders(node, ids_t, vec_t)
+            node = self._node_parent(node)
+        return best
+
+    def _to_node_borders(
+        self, node_id: int, ids: np.ndarray, vec: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Project a candidate vector onto ``node_id``'s own borders."""
+        if ids.size == 0:
+            borders = self._borders[node_id]
+            return borders, np.full(borders.size, INF)
+        u, ext = self._extend(node_id, ids, vec)
+        borders = self._borders[node_id]
+        pos = self._U_pos[node_id]
+        idx = np.array([pos[int(b)] for b in borders], dtype=np.int64)
+        return borders, ext[idx]
+
+    # ------------------------------------------------------------------
+    def index_bytes(self) -> int:
+        """Leaf matrices + internal candidate matrices."""
+        total = sum(m.nbytes for m in self._leaf_mat.values())
+        total += sum(m.nbytes for m in self._D.values())
+        return int(total)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"GTree(levels={self.hierarchy.num_subgraph_levels}, "
+            f"leaves={len(self._leaf_mat)})"
+        )

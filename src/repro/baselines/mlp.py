@@ -1,0 +1,127 @@
+"""Minimal fully-connected regressor in numpy (for the DR baseline).
+
+The paper's DR models bolt a fully-connected network of ~1K / 10K / 100K
+parameters onto DeepWalk features for distance regression.  This module
+provides exactly that: an MLP with ReLU hidden layers, MSE loss and Adam,
+implemented with explicit forward/backward passes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class MLPRegressor:
+    """Feed-forward regressor ``in -> hidden... -> 1`` with ReLU + Adam.
+
+    Parameters
+    ----------
+    input_dim:
+        Feature dimension.
+    hidden:
+        Sizes of the hidden layers (empty = linear regression).
+    seed:
+        Initialisation seed (He-normal weights).
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden: tuple[int, ...] = (32,),
+        *,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+        dims = [int(input_dim), *map(int, hidden), 1]
+        self.weights: list[np.ndarray] = []
+        self.biases: list[np.ndarray] = []
+        for fan_in, fan_out in zip(dims[:-1], dims[1:]):
+            std = np.sqrt(2.0 / fan_in)
+            self.weights.append(rng.normal(scale=std, size=(fan_in, fan_out)))
+            self.biases.append(np.zeros(fan_out))
+        self._adam_m = [np.zeros_like(w) for w in self.weights + self.biases]
+        self._adam_v = [np.zeros_like(w) for w in self.weights + self.biases]
+        self._adam_t = 0
+        self._y_scale = 1.0
+
+    @property
+    def num_parameters(self) -> int:
+        return int(
+            sum(w.size for w in self.weights) + sum(b.size for b in self.biases)
+        )
+
+    # ------------------------------------------------------------------
+    def _forward(self, x: np.ndarray) -> tuple[np.ndarray, list[np.ndarray]]:
+        """Return output and per-layer activations (for backprop)."""
+        activations = [x]
+        h = x
+        last = len(self.weights) - 1
+        for i, (w, b) in enumerate(zip(self.weights, self.biases)):
+            h = h @ w + b
+            if i < last:
+                h = np.maximum(h, 0.0)
+            activations.append(h)
+        return h[:, 0], activations
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Regressed values for a ``(k, input_dim)`` feature matrix."""
+        out, _ = self._forward(np.asarray(x, dtype=np.float64))
+        return out * self._y_scale
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        *,
+        epochs: int = 20,
+        batch_size: int = 1024,
+        lr: float = 1e-3,
+        seed: int | np.random.Generator | None = 0,
+    ) -> list[float]:
+        """Adam/MSE training; returns per-epoch training MSE.
+
+        Targets are internally normalised by their mean magnitude so the
+        same ``lr`` works across datasets with different distance units.
+        """
+        rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        self._y_scale = float(np.mean(np.abs(y))) or 1.0
+        y_n = y / self._y_scale
+        losses: list[float] = []
+        for _ in range(epochs):
+            order = rng.permutation(len(x))
+            total = 0.0
+            for start in range(0, len(x), batch_size):
+                batch = order[start : start + batch_size]
+                total += self._step(x[batch], y_n[batch], lr) * len(batch)
+            losses.append(total / len(x))
+        return losses
+
+    def _step(self, x: np.ndarray, y: np.ndarray, lr: float) -> float:
+        out, acts = self._forward(x)
+        resid = out - y
+        loss = float(np.mean(np.square(resid)))
+
+        grads_w: list[np.ndarray] = [np.empty(0)] * len(self.weights)
+        grads_b: list[np.ndarray] = [np.empty(0)] * len(self.biases)
+        delta = (2.0 * resid / len(x))[:, None]  # dL/d(last pre-activation)
+        for i in range(len(self.weights) - 1, -1, -1):
+            grads_w[i] = acts[i].T @ delta
+            grads_b[i] = delta.sum(axis=0)
+            if i > 0:
+                delta = (delta @ self.weights[i].T) * (acts[i] > 0)
+        self._adam_update(grads_w + grads_b, lr)
+        return loss
+
+    def _adam_update(self, grads: list[np.ndarray], lr: float) -> None:
+        params = self.weights + self.biases
+        self._adam_t += 1
+        b1, b2, eps = 0.9, 0.999, 1e-8
+        for i, (p, g) in enumerate(zip(params, grads)):
+            self._adam_m[i] = b1 * self._adam_m[i] + (1 - b1) * g
+            self._adam_v[i] = b2 * self._adam_v[i] + (1 - b2) * np.square(g)
+            m_hat = self._adam_m[i] / (1 - b1**self._adam_t)
+            v_hat = self._adam_v[i] / (1 - b2**self._adam_t)
+            p -= lr * m_hat / (np.sqrt(v_hat) + eps)

@@ -1,0 +1,214 @@
+"""G-tree/V-tree-style partition index for exact kNN and range queries.
+
+The paper's kNN baseline V-tree [28] extends G-tree [35]: a partition tree
+whose nodes store distance matrices between *border* vertices, assembled so
+that point queries and kNN run without global graph searches.  This module
+implements the two-level form of that design, which is exact:
+
+* each leaf cell stores distances from its borders to its inner vertices,
+  computed **within the cell** — exact for the segment of any shortest path
+  up to its first border crossing;
+* the root stores the full border-to-border matrix computed on the whole
+  graph — exact for everything between the crossings.
+
+Distances assemble as ``min over (b1, b2)`` of leaf + root + leaf parts.
+kNN expands candidate leaves best-first by a border-derived lower bound, the
+same pruning idea V-tree uses for moving objects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..algorithms.dijkstra import INF, sssp_many
+from ..graph import Graph
+from ..graph.partition import partition_kway
+
+
+class GTreeIndex:
+    """Two-level G-tree: exact distance/kNN/range via border matrices.
+
+    Parameters
+    ----------
+    graph:
+        Connected road network.
+    num_cells:
+        Leaf count (partitioning fanout of the single level).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        num_cells: int = 16,
+        *,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        if num_cells < 2:
+            raise ValueError(f"num_cells must be >= 2, got {num_cells}")
+        self.graph = graph
+        self.labels = partition_kway(graph, num_cells, seed=seed)
+        self.num_cells = int(self.labels.max()) + 1
+
+        self.cells: list[np.ndarray] = [
+            np.nonzero(self.labels == c)[0] for c in range(self.num_cells)
+        ]
+        self._pos_in_cell = np.empty(graph.n, dtype=np.int64)
+        for cell in self.cells:
+            self._pos_in_cell[cell] = np.arange(cell.size)
+
+        # Borders: endpoints of cut edges.
+        us, vs, _ = graph.edge_array()
+        cross = self.labels[us] != self.labels[vs]
+        border_set = np.unique(np.concatenate([us[cross], vs[cross]]))
+        self.borders_of: list[np.ndarray] = [
+            border_set[self.labels[border_set] == c] for c in range(self.num_cells)
+        ]
+        self.all_borders = border_set
+        self._border_pos = {int(b): i for i, b in enumerate(border_set)}
+
+        # Root matrix: exact border-to-border distances on the full graph.
+        rows = sssp_many(graph, border_set)
+        self.b2b = rows[:, border_set]
+
+        # Leaf matrices: within-cell distances border -> inner vertex.
+        self._leaf_graphs: list[Graph] = []
+        self.leafmats: list[np.ndarray] = []
+        for c in range(self.num_cells):
+            sub, _ = graph.subgraph(self.cells[c])
+            self._leaf_graphs.append(sub)
+            local_borders = self._pos_in_cell[self.borders_of[c]]
+            if local_borders.size:
+                self.leafmats.append(sssp_many(sub, local_borders))
+            else:
+                self.leafmats.append(np.empty((0, sub.n)))
+
+    # ------------------------------------------------------------------
+    # assembly helpers
+    # ------------------------------------------------------------------
+    def _to_own_borders(self, v: int) -> tuple[np.ndarray, np.ndarray]:
+        """(border ids, within-cell distances) for the borders of v's cell."""
+        c = int(self.labels[v])
+        borders = self.borders_of[c]
+        dists = self.leafmats[c][:, self._pos_in_cell[v]]
+        return borders, dists
+
+    def _global_border_dists(self, v: int) -> np.ndarray:
+        """Exact distances from ``v`` to every border of the graph."""
+        borders, leaf_d = self._to_own_borders(v)
+        if borders.size == 0:
+            return np.full(self.all_borders.size, INF)
+        rows = np.array([self._border_pos[int(b)] for b in borders])
+        # d(v, b) = min over own borders b1 of dleaf(v, b1) + b2b(b1, b)
+        return np.min(leaf_d[:, None] + self.b2b[rows], axis=0)
+
+    def query(self, s: int, t: int) -> float:
+        """Exact shortest-path distance via the border assembly."""
+        if s == t:
+            return 0.0
+        cs, ct = int(self.labels[s]), int(self.labels[t])
+        through = self._through_borders(s, t)
+        if cs != ct:
+            return through
+        # Same leaf: the path may also stay inside the cell entirely.
+        sub = self._leaf_graphs[cs]
+        local = sssp_many(sub, [self._pos_in_cell[s]])[0]
+        inner = float(local[self._pos_in_cell[t]])
+        return min(inner, through)
+
+    def _through_borders(self, s: int, t: int) -> float:
+        glob_s = self._global_border_dists(s)
+        borders_t, leaf_t = self._to_own_borders(t)
+        if borders_t.size == 0:
+            return INF
+        rows_t = np.array([self._border_pos[int(b)] for b in borders_t])
+        return float(np.min(glob_s[rows_t] + leaf_t))
+
+    # ------------------------------------------------------------------
+    # kNN / range
+    # ------------------------------------------------------------------
+    def _leaf_target_dists(
+        self, glob_s: np.ndarray, cell: int, targets: np.ndarray
+    ) -> np.ndarray:
+        """Exact distances from the source to targets inside ``cell``,
+        given the source's global border distances."""
+        borders = self.borders_of[cell]
+        if borders.size == 0:
+            return np.full(targets.size, INF)
+        rows = np.array([self._border_pos[int(b)] for b in borders])
+        cols = self._pos_in_cell[targets]
+        return np.min(glob_s[rows][:, None] + self.leafmats[cell][:, cols], axis=0)
+
+    def knn(self, source: int, targets: np.ndarray, k: int) -> np.ndarray:
+        """Exact k nearest targets, expanding leaves best-first.
+
+        Leaves are visited in order of a border lower bound; expansion stops
+        once the current k-th best distance is below the next leaf's bound.
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        targets = np.asarray(targets, dtype=np.int64)
+        glob_s = self._global_border_dists(source)
+        found: list[tuple[float, int]] = []
+
+        # Source's own leaf first, with the stay-inside correction.
+        own = int(self.labels[source])
+        own_targets = targets[self.labels[targets] == own]
+        if own_targets.size:
+            sub = self._leaf_graphs[own]
+            local = sssp_many(sub, [self._pos_in_cell[source]])[0]
+            inner = local[self._pos_in_cell[own_targets]]
+            through = self._leaf_target_dists(glob_s, own, own_targets)
+            for t, d in zip(own_targets, np.minimum(inner, through)):
+                found.append((float(d), int(t)))
+
+        # Other leaves in lower-bound order.
+        bounds = []
+        for c in range(self.num_cells):
+            if c == own:
+                continue
+            cell_targets = targets[self.labels[targets] == c]
+            if cell_targets.size == 0:
+                continue
+            rows = np.array([self._border_pos[int(b)] for b in self.borders_of[c]])
+            lb = float(np.min(glob_s[rows])) if rows.size else INF
+            bounds.append((lb, c, cell_targets))
+        bounds.sort(key=lambda item: item[0])
+
+        for lb, c, cell_targets in bounds:
+            found.sort()
+            if len(found) >= k and found[k - 1][0] <= lb:
+                break  # nothing in this or later leaves can improve top-k
+            dists = self._leaf_target_dists(glob_s, c, cell_targets)
+            found.extend((float(d), int(t)) for d, t in zip(dists, cell_targets))
+        found.sort()
+        return np.array([t for _, t in found[:k]], dtype=np.int64)
+
+    def range_query(self, source: int, targets: np.ndarray, tau: float) -> np.ndarray:
+        """Exact targets within network distance ``tau``."""
+        if tau < 0:
+            raise ValueError(f"tau must be >= 0, got {tau}")
+        targets = np.asarray(targets, dtype=np.int64)
+        glob_s = self._global_border_dists(source)
+        hits: list[int] = []
+        own = int(self.labels[source])
+        for c in range(self.num_cells):
+            cell_targets = targets[self.labels[targets] == c]
+            if cell_targets.size == 0:
+                continue
+            if c != own:
+                rows = np.array(
+                    [self._border_pos[int(b)] for b in self.borders_of[c]]
+                )
+                if rows.size == 0 or float(np.min(glob_s[rows])) > tau:
+                    continue  # leaf entirely out of range
+            dists = self._leaf_target_dists(glob_s, c, cell_targets)
+            if c == own:
+                sub = self._leaf_graphs[own]
+                local = sssp_many(sub, [self._pos_in_cell[source]])[0]
+                dists = np.minimum(dists, local[self._pos_in_cell[cell_targets]])
+            hits.extend(int(t) for t, d in zip(cell_targets, dists) if d <= tau)
+        return np.array(sorted(hits), dtype=np.int64)
+
+    def index_bytes(self) -> int:
+        """Border-to-border matrix + leaf matrices (what G-tree stores)."""
+        return int(self.b2b.nbytes + sum(m.nbytes for m in self.leafmats))

@@ -1,0 +1,154 @@
+"""Ablation experiments for this repo's own design choices.
+
+DESIGN.md documents three engineering decisions on top of the paper's
+recipe (lazy Adam, residual-scaled steps, the phase-2.5 joint polish) and
+one substitution (synthetic datasets).  These runners quantify each:
+
+* :func:`ablate_joint_pass` — final error with/without phase 2.5;
+* :func:`ablate_optimizer` — lazy Adam vs the paper's SGD at equal budget;
+* :func:`ablate_landmark_strategy` — farthest vs random vs degree
+  landmark selection for the vertex phase (Sec. V-B offers the choice);
+* :func:`scaling_experiment` — RNE error/build/query versus graph size,
+  plus the distance oracle's construction wall, making the "scales well"
+  claim and the oracle's failure mode measurable.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..algorithms.oracle import DistanceOracle
+from ..core import build_rne, error_report
+from ..graph import grid_city
+from .experiments import get_dataset, get_workload
+from .methods import default_rne_config
+from .reporting import format_table
+
+
+def ablate_joint_pass(*, dataset: str = "BJ-S", fast: bool = False) -> dict:
+    """Phase-2.5 joint polish: on vs off, same seed and budgets.
+
+    The effect grows with graph size/irregularity — near-neutral on the
+    radial BJ-S, large on the Delaunay FLA-S (see EXPERIMENTS.md).
+    """
+    graph = get_dataset(dataset, fast=fast)
+    workload = get_workload(dataset, fast=fast)
+    results = {}
+    for label, joint in (("with joint pass", True), ("without joint pass", False)):
+        config = default_rne_config(graph, quality="fast" if fast else "standard")
+        if not joint:
+            config.joint_epochs = 0
+        rne = build_rne(graph, config)
+        rep = error_report(rne.query_pairs(workload.pairs), workload.truth)
+        results[label] = {
+            "mean_rel": rep.mean_rel,
+            "build_s": rne.history.build_seconds,
+        }
+    report = format_table(
+        ["variant", "e_rel %", "build s"],
+        [
+            [k, f"{v['mean_rel'] * 100:.2f}", f"{v['build_s']:.1f}"]
+            for k, v in results.items()
+        ],
+        title="Ablation — phase-2.5 joint polish",
+    )
+    return {"results": results, "report": report}
+
+
+def ablate_optimizer(*, dataset: str = "BJ-S", fast: bool = False) -> dict:
+    """Lazy Adam vs plain SGD at identical sample budgets.
+
+    SGD's stable learning rate scales like ``1 / (2d)`` (gradient magnitude
+    is residual * d); we give it that rate rather than a strawman.
+    """
+    graph = get_dataset(dataset, fast=fast)
+    workload = get_workload(dataset, fast=fast)
+    results = {}
+    for label, optimizer in (("lazy adam", "adam"), ("sgd (paper)", "sgd")):
+        config = default_rne_config(graph, quality="fast" if fast else "standard")
+        config.optimizer = optimizer
+        if optimizer == "sgd":
+            config.lr = 0.5 / (2 * config.d)
+        rne = build_rne(graph, config)
+        rep = error_report(rne.query_pairs(workload.pairs), workload.truth)
+        results[label] = rep.mean_rel
+    report = format_table(
+        ["optimizer", "e_rel %"],
+        [[k, f"{v * 100:.2f}"] for k, v in results.items()],
+        title="Ablation — optimizer (equal sample budget)",
+    )
+    return {"results": results, "report": report}
+
+
+def ablate_landmark_strategy(*, dataset: str = "BJ-S", fast: bool = False) -> dict:
+    """Vertex-phase landmark selection strategy (paper Sec. V-B)."""
+    graph = get_dataset(dataset, fast=fast)
+    workload = get_workload(dataset, fast=fast)
+    results = {}
+    for strategy in ("farthest", "random", "degree"):
+        config = default_rne_config(graph, quality="fast" if fast else "standard")
+        config.landmark_strategy = strategy
+        rne = build_rne(graph, config)
+        rep = error_report(rne.query_pairs(workload.pairs), workload.truth)
+        results[strategy] = rep.mean_rel
+    report = format_table(
+        ["strategy", "e_rel %"],
+        [[k, f"{v * 100:.2f}"] for k, v in results.items()],
+        title="Ablation — landmark selection strategy",
+    )
+    return {"results": results, "report": report}
+
+
+def scaling_experiment(
+    *,
+    sides: tuple[int, ...] = (12, 20, 32),
+    oracle_pair_budget: int = 400_000,
+    fast: bool = False,
+) -> dict:
+    """RNE error/build/query vs |V|; the oracle's construction wall.
+
+    The paper's scalability claims: RNE's query cost is O(d) independent
+    of |V|, its index O(|V| d); Distance Oracle construction blows up.
+    """
+    if fast:
+        sides = sides[:2]
+    rows = []
+    oracle_status = []
+    for side in sides:
+        graph = grid_city(side, side, seed=3)
+        config = default_rne_config(graph, quality="fast" if fast else "standard")
+        start = time.perf_counter()
+        rne = build_rne(graph, config)
+        build_s = time.perf_counter() - start
+        rng = np.random.default_rng(0)
+        pairs = rng.integers(graph.n, size=(2000, 2))
+        start = time.perf_counter()
+        rne.query_pairs(pairs)
+        per_query_us = (time.perf_counter() - start) / len(pairs) * 1e6
+        err = rne.history.phase_errors["final"]
+        rows.append([graph.n, f"{err * 100:.2f}", f"{build_s:.1f}",
+                     f"{per_query_us:.2f}", rne.index_bytes()])
+
+        try:
+            oracle = DistanceOracle(graph, epsilon=0.25, max_pairs=oracle_pair_budget)
+            oracle_status.append([graph.n, f"{oracle.num_pairs} pairs"])
+        except MemoryError:
+            oracle_status.append([graph.n, f"WALL (> {oracle_pair_budget} pairs)"])
+
+    report = "\n\n".join(
+        [
+            format_table(
+                ["|V|", "e_rel %", "build s", "us/query", "index bytes"],
+                rows,
+                title="Scaling — RNE vs graph size",
+            ),
+            format_table(
+                ["|V|", "oracle (eps=0.25) construction"],
+                oracle_status,
+                title="Scaling — Distance Oracle construction wall",
+            ),
+        ]
+    )
+    return {"rows": rows, "oracle": oracle_status, "report": report}

@@ -1,0 +1,111 @@
+"""Query workload generators for the experiment harness.
+
+Matches the paper's evaluation protocol (Sec. VII): random query pairs with
+exact ground truth, distance-scale query groups (``Q`` groups of queries
+bucketed by true distance, Figs. 13/17), and kNN/range workloads (random
+sources against a random target/POI set, Fig. 16).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.sampling import DistanceLabeler, random_pair_samples
+from ..graph import Graph
+
+
+@dataclass(frozen=True)
+class QueryWorkload:
+    """Labelled point-to-point queries."""
+
+    pairs: np.ndarray
+    truth: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+
+@dataclass(frozen=True)
+class ScaleGroup:
+    """One distance-scale query group (Fig. 13 / 17 x-axis point)."""
+
+    upper_bound: float
+    pairs: np.ndarray
+    truth: np.ndarray
+
+
+@dataclass(frozen=True)
+class SpatialWorkload:
+    """Sources and a fixed target (POI) set for kNN / range queries."""
+
+    sources: np.ndarray
+    targets: np.ndarray
+
+
+def random_queries(
+    graph: Graph,
+    count: int,
+    *,
+    seed: int | np.random.Generator | None = 0,
+    labeler: DistanceLabeler | None = None,
+) -> QueryWorkload:
+    """Uniform random labelled query pairs (the Table III workload)."""
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    if labeler is None:
+        labeler = DistanceLabeler(graph)
+    pairs, truth = random_pair_samples(graph, count, labeler, rng)
+    return QueryWorkload(pairs, truth)
+
+
+def distance_scale_groups(
+    graph: Graph,
+    *,
+    num_groups: int = 5,
+    per_group: int = 500,
+    pool_factor: int = 8,
+    seed: int | np.random.Generator | None = 0,
+    labeler: DistanceLabeler | None = None,
+) -> list[ScaleGroup]:
+    """``Q`` query groups by true-distance scale (Fig. 13 / 17 protocol).
+
+    A large random pool is labelled, split into ``num_groups`` equal-width
+    distance intervals, and up to ``per_group`` queries are kept per group
+    (long-distance groups are rarer in a uniform pool, hence the oversized
+    pool).  Groups left empty by graph geometry are dropped.
+    """
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    if labeler is None:
+        labeler = DistanceLabeler(graph)
+    pool_pairs, pool_truth = random_pair_samples(
+        graph, num_groups * per_group * pool_factor, labeler, rng
+    )
+    top = float(pool_truth.max())
+    edges = np.linspace(0.0, top, num_groups + 1)
+    groups: list[ScaleGroup] = []
+    for i in range(num_groups):
+        mask = (pool_truth > edges[i]) & (pool_truth <= edges[i + 1])
+        idx = np.nonzero(mask)[0]
+        if idx.size == 0:
+            continue
+        if idx.size > per_group:
+            idx = rng.choice(idx, size=per_group, replace=False)
+        groups.append(
+            ScaleGroup(float(edges[i + 1]), pool_pairs[idx], pool_truth[idx])
+        )
+    return groups
+
+
+def spatial_workload(
+    graph: Graph,
+    *,
+    num_sources: int = 50,
+    num_targets: int = 200,
+    seed: int | np.random.Generator | None = 0,
+) -> SpatialWorkload:
+    """Random sources + a random POI set for kNN/range experiments."""
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    sources = rng.choice(graph.n, size=min(num_sources, graph.n), replace=False)
+    targets = rng.choice(graph.n, size=min(num_targets, graph.n), replace=False)
+    return SpatialWorkload(sources.astype(np.int64), np.sort(targets).astype(np.int64))

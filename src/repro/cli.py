@@ -1,0 +1,57 @@
+"""Command-line entry point: run any paper experiment from the shell.
+
+Usage::
+
+    rne list                 # show available experiments
+    rne table3               # regenerate Table III
+    rne fig11 --fast         # quick, scaled-down version
+    rne all                  # everything (slow)
+
+Equivalent to ``python -m repro.cli <experiment>``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .bench.experiments import EXPERIMENTS
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="rne",
+        description="Run RNE reproduction experiments (ICDE 2021 tables/figures).",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment name (see 'rne list'), 'list', or 'all'",
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="scaled-down datasets and budgets (seconds instead of minutes)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+
+    for name in names:
+        print(f"== {name} ==")
+        print(EXPERIMENTS[name](fast=args.fast))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

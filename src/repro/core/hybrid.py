@@ -1,0 +1,114 @@
+"""Certified hybrid estimator: RNE point estimates + landmark bounds.
+
+An extension beyond the paper (its conclusion invites combining RNE with
+classical machinery): the RNE embedding answers fast but offers no
+per-query guarantee, while the LT landmark table yields *certified*
+triangle-inequality bounds ``lower <= d(s,t) <= upper`` at O(|U|) cost.
+Combining them gives every query
+
+* a point estimate (the RNE value, clamped into the certified interval —
+  clamping can only reduce its error), and
+* a hard error certificate ``(upper - lower) / lower``.
+
+Applications that must never overestimate by more than a factor (e.g.
+admission control, fare caps) can use the interval directly and fall back
+to an exact method only for the few queries whose certificate is too
+loose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..algorithms.landmarks import LTEstimator
+from ..graph import Graph
+from .model import RNEModel
+
+
+@dataclass(frozen=True)
+class CertifiedDistance:
+    """A distance estimate with a hard two-sided certificate."""
+
+    estimate: float
+    lower: float
+    upper: float
+
+    @property
+    def max_relative_error(self) -> float:
+        """Worst-case relative error of ``estimate`` given the bounds."""
+        if self.lower <= 0:
+            return float("inf") if self.upper > 0 else 0.0
+        return max(
+            (self.estimate - self.lower) / self.lower,
+            (self.upper - self.estimate) / self.lower,
+        )
+
+
+class HybridEstimator:
+    """RNE estimates clamped into certified landmark intervals.
+
+    Parameters
+    ----------
+    model:
+        A trained RNE model.
+    graph:
+        The road network (used to build the landmark table).
+    num_landmarks:
+        Landmark count for the bounding table; more landmarks tighten the
+        certificates at O(|U|) extra per query.
+    """
+
+    def __init__(
+        self,
+        model: RNEModel,
+        graph: Graph,
+        *,
+        num_landmarks: int = 16,
+        lt: LTEstimator | None = None,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        if lt is None:
+            lt = LTEstimator(graph, min(num_landmarks, graph.n), seed=seed)
+        self.model = model
+        self.lt = lt
+
+    def query(self, s: int, t: int) -> CertifiedDistance:
+        """Certified estimate for one pair."""
+        if s == t:
+            return CertifiedDistance(0.0, 0.0, 0.0)
+        lower = self.lt.lower_bound(s, t)
+        # The bounds are equal (up to float rounding) when an endpoint is a
+        # landmark; keep the interval well-ordered.
+        upper = max(self.lt.upper_bound(s, t), lower)
+        est = float(np.clip(self.model.query(s, t), lower, upper))
+        return CertifiedDistance(est, lower, upper)
+
+    def query_pairs(self, pairs: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorised ``(estimates, lowers, uppers)`` for a pair array."""
+        pairs = np.asarray(pairs, dtype=np.int64)
+        table = self.lt.table
+        diff = table[:, pairs[:, 0]] - table[:, pairs[:, 1]]
+        lowers = np.max(np.abs(diff), axis=0)
+        uppers = np.min(table[:, pairs[:, 0]] + table[:, pairs[:, 1]], axis=0)
+        same = pairs[:, 0] == pairs[:, 1]
+        lowers[same] = 0.0
+        uppers[same] = 0.0
+        np.maximum(uppers, lowers, out=uppers)  # 1-ulp crossings at landmarks
+        est = np.clip(self.model.query_pairs(pairs), lowers, uppers)
+        return est, lowers, uppers
+
+    def loose_queries(self, pairs: np.ndarray, tolerance: float) -> np.ndarray:
+        """Indices whose certificate exceeds ``tolerance`` relative width.
+
+        These are the queries a caller should route to an exact method —
+        typically a small fraction once |U| is moderate.
+        """
+        _, lowers, uppers = self.query_pairs(pairs)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            width = (uppers - lowers) / np.where(lowers > 0, lowers, np.inf)
+        return np.nonzero(width > tolerance)[0]
+
+    def index_bytes(self) -> int:
+        return self.model.index_bytes() + self.lt.index_bytes()

@@ -1,0 +1,161 @@
+"""Tree-structured embedding index for range and kNN queries (Sec. VI).
+
+The partition tree is reused as a metric index over the *embedding* space:
+every tree node stores a centre vector and a radius — the maximum Lp
+distance from the centre to any member vertex's embedding — so that
+
+    Lp(q, centre) - radius
+
+is a valid lower bound on the embedding distance from the query to every
+vertex under the node (triangle inequality).  Range queries prune nodes
+whose bound exceeds the threshold; kNN queries expand nodes best-first from
+a min-priority queue, exactly as Algorithm "Range/kNN" in the paper.
+
+Results are exact with respect to *embedding* distances; their accuracy
+against true network distances (F1 in Fig. 16) is the model's accuracy.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from ..graph import PartitionHierarchy
+from .model import lp_distance
+
+
+class EmbeddingTreeIndex:
+    """Range/kNN index over a trained embedding and its partition tree.
+
+    Parameters
+    ----------
+    hierarchy:
+        The partition tree (any aligned hierarchy over the same graph).
+    matrix:
+        ``(n, d)`` vertex embedding matrix (global embeddings).
+    p:
+        Metric order matching the trained model.
+    """
+
+    def __init__(
+        self,
+        hierarchy: PartitionHierarchy,
+        matrix: np.ndarray,
+        p: float = 1.0,
+    ) -> None:
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.shape[0] != hierarchy.graph.n:
+            raise ValueError(
+                f"matrix has {matrix.shape[0]} rows for a graph of "
+                f"{hierarchy.graph.n} vertices"
+            )
+        self.hierarchy = hierarchy
+        self.matrix = matrix
+        self.p = float(p)
+        # Leaf cells are the last *sub-graph* level; per-vertex tree nodes
+        # are skipped in traversal (vertices are enumerated from leaf cells).
+        self._leaf_level = hierarchy.num_subgraph_levels - 1
+        self._centres: dict[int, np.ndarray] = {}
+        self._radii: dict[int, float] = {}
+        for node in hierarchy.nodes:
+            if node.level > self._leaf_level:
+                continue
+            members = matrix[node.vertices]
+            centre = members.mean(axis=0)
+            self._centres[node.id] = centre
+            self._radii[node.id] = float(
+                lp_distance(members - centre, self.p).max()
+            )
+
+    # ------------------------------------------------------------------
+    def _bound(self, q: np.ndarray, node_id: int) -> float:
+        """Lower bound on embedding distance from ``q`` to the node's members."""
+        d = float(lp_distance(q - self._centres[node_id], self.p))
+        return max(d - self._radii[node_id], 0.0)
+
+    def _roots(self) -> list[int]:
+        return self.hierarchy.root_ids()
+
+    def _child_cells(self, node_id: int) -> list[int]:
+        return self.hierarchy.nodes[node_id].children
+
+    # ------------------------------------------------------------------
+    def range_query(
+        self,
+        source: int,
+        targets: np.ndarray,
+        tau: float,
+    ) -> np.ndarray:
+        """All targets within embedding distance ``tau`` of ``source``.
+
+        ``targets`` restricts the candidate set (the paper's ``V_T``, e.g.
+        the POIs); pass ``np.arange(n)`` for all vertices.
+        """
+        if tau < 0:
+            raise ValueError(f"tau must be >= 0, got {tau}")
+        q = self.matrix[source]
+        mask = np.zeros(self.hierarchy.graph.n, dtype=bool)
+        mask[np.asarray(targets, dtype=np.int64)] = True
+        out: list[int] = []
+        stack = list(self._roots())
+        while stack:
+            node_id = stack.pop()
+            if self._bound(q, node_id) > tau:
+                continue  # triangle-inequality pruning
+            node = self.hierarchy.nodes[node_id]
+            if node.level == self._leaf_level:
+                members = node.vertices[mask[node.vertices]]
+                if members.size:
+                    dists = lp_distance(self.matrix[members] - q, self.p)
+                    out.extend(int(v) for v in members[dists <= tau])
+            else:
+                stack.extend(self._child_cells(node_id))
+        return np.array(sorted(out), dtype=np.int64)
+
+    def knn_query(self, source: int, targets: np.ndarray, k: int) -> np.ndarray:
+        """k nearest targets to ``source`` by embedding distance.
+
+        Best-first expansion over the tree: nodes enter a min-priority queue
+        keyed by their lower bound; popped vertices are final answers
+        because no unexpanded node can contain anything closer.
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        q = self.matrix[source]
+        mask = np.zeros(self.hierarchy.graph.n, dtype=bool)
+        mask[np.asarray(targets, dtype=np.int64)] = True
+
+        heap: list[tuple[float, int, int, int]] = []  # (key, tiebreak, kind, id)
+        counter = 0
+        VERTEX, NODE = 0, 1
+        for root in self._roots():
+            heapq.heappush(heap, (self._bound(q, root), counter, NODE, root))
+            counter += 1
+        result: list[int] = []
+        while heap and len(result) < k:
+            _, _, kind, ident = heapq.heappop(heap)
+            if kind == VERTEX:
+                result.append(ident)
+                continue
+            node = self.hierarchy.nodes[ident]
+            if node.level == self._leaf_level:
+                members = node.vertices[mask[node.vertices]]
+                if members.size:
+                    dists = lp_distance(self.matrix[members] - q, self.p)
+                    for v, d in zip(members, dists):
+                        heapq.heappush(heap, (float(d), counter, VERTEX, int(v)))
+                        counter += 1
+            else:
+                for child in self._child_cells(ident):
+                    heapq.heappush(
+                        heap, (self._bound(q, child), counter, NODE, child)
+                    )
+                    counter += 1
+        return np.array(result, dtype=np.int64)
+
+    def index_bytes(self) -> int:
+        """Extra memory on top of the embedding matrix."""
+        n_nodes = len(self._centres)
+        d = self.matrix.shape[1]
+        return n_nodes * (d * 8 + 8)

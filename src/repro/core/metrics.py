@@ -1,0 +1,138 @@
+"""Approximation-quality metrics used throughout the evaluation.
+
+The paper reports absolute error ``e_abs = |phi_hat - phi|`` and relative
+error ``e_rel = e_abs / phi`` (Sec. III-B), plus three derived views that
+its figures plot: per-distance-bucket means (Fig. 8 / 17), the cumulative
+error distribution (Fig. 15), and F1 for range-query result sets (Fig. 16).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ErrorReport:
+    """Summary statistics of a batch of approximate queries."""
+
+    mean_abs: float
+    mean_rel: float
+    max_rel: float
+    var_rel: float
+    count: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"e_rel={self.mean_rel * 100:.3f}% (var {self.var_rel:.2e}, "
+            f"max {self.max_rel * 100:.2f}%), e_abs={self.mean_abs:.2f} "
+            f"over {self.count} queries"
+        )
+
+
+def absolute_errors(pred: np.ndarray, truth: np.ndarray) -> np.ndarray:
+    """``e_abs`` per query."""
+    return np.abs(np.asarray(pred, dtype=float) - np.asarray(truth, dtype=float))
+
+
+def relative_errors(pred: np.ndarray, truth: np.ndarray) -> np.ndarray:
+    """``e_rel`` per query; zero-distance pairs are excluded by callers."""
+    truth = np.asarray(truth, dtype=float)
+    return absolute_errors(pred, truth) / np.maximum(truth, 1e-12)
+
+
+def error_report(pred: np.ndarray, truth: np.ndarray) -> ErrorReport:
+    """Aggregate an error batch into the paper's summary statistics."""
+    pred = np.asarray(pred, dtype=float)
+    truth = np.asarray(truth, dtype=float)
+    ok = np.isfinite(pred) & np.isfinite(truth) & (truth > 0)
+    pred, truth = pred[ok], truth[ok]
+    if pred.size == 0:
+        return ErrorReport(0.0, 0.0, 0.0, 0.0, 0)
+    e_abs = absolute_errors(pred, truth)
+    e_rel = e_abs / truth
+    return ErrorReport(
+        mean_abs=float(e_abs.mean()),
+        mean_rel=float(e_rel.mean()),
+        max_rel=float(e_rel.max()),
+        var_rel=float(e_rel.var()),
+        count=int(pred.size),
+    )
+
+
+def bucketed_errors(
+    pred: np.ndarray,
+    truth: np.ndarray,
+    bucket_ids: np.ndarray,
+    num_buckets: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Mean ``e_rel`` / ``e_abs`` / sample count per bucket.
+
+    Buckets with no samples report zero error (they contribute no demand in
+    the active-fine-tuning selection).
+    """
+    pred = np.asarray(pred, dtype=float)
+    truth = np.asarray(truth, dtype=float)
+    bucket_ids = np.asarray(bucket_ids, dtype=np.int64)
+    rel = np.zeros(num_buckets)
+    abs_ = np.zeros(num_buckets)
+    counts = np.zeros(num_buckets, dtype=np.int64)
+    e_abs = absolute_errors(pred, truth)
+    e_rel = e_abs / np.maximum(truth, 1e-12)
+    np.add.at(rel, bucket_ids, e_rel)
+    np.add.at(abs_, bucket_ids, e_abs)
+    np.add.at(counts, bucket_ids, 1)
+    nz = counts > 0
+    rel[nz] /= counts[nz]
+    abs_[nz] /= counts[nz]
+    return rel, abs_, counts
+
+
+def error_cdf(
+    pred: np.ndarray, truth: np.ndarray, thresholds: np.ndarray
+) -> np.ndarray:
+    """Cumulative share of queries whose ``e_rel`` is below each threshold.
+
+    This is the curve of Fig. 15: e.g. "93% of queries have error < 2%".
+    """
+    e_rel = relative_errors(pred, truth)
+    thresholds = np.asarray(thresholds, dtype=float)
+    return np.array([(e_rel <= th).mean() for th in thresholds])
+
+
+def f1_score(result: set[int] | np.ndarray, truth: set[int] | np.ndarray) -> float:
+    """F1 of an approximate result set against the exact one (Fig. 16).
+
+    Both empty counts as a perfect answer; only one empty as a total miss.
+    """
+    result = set(int(v) for v in result)
+    truth = set(int(v) for v in truth)
+    if not result and not truth:
+        return 1.0
+    if not result or not truth:
+        return 0.0
+    tp = len(result & truth)
+    precision = tp / len(result)
+    recall = tp / len(truth)
+    if precision + recall == 0:
+        return 0.0
+    return 2 * precision * recall / (precision + recall)
+
+
+def distance_scale_groups(
+    truth: np.ndarray, num_groups: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Assign queries to equal-width distance-scale groups (Fig. 13 / 17).
+
+    Returns per-query group ids and the group upper bounds, mirroring the
+    paper's "x-axis = upper bound of sample distance for each group".
+    """
+    truth = np.asarray(truth, dtype=float)
+    finite = truth[np.isfinite(truth)]
+    top = float(finite.max()) if finite.size else 1.0
+    edges = np.linspace(0.0, top, num_groups + 1)[1:]
+    ids = np.minimum(
+        np.searchsorted(edges, truth, side="left"), num_groups - 1
+    )
+    return ids.astype(np.int64), edges

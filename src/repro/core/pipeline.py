@@ -1,0 +1,405 @@
+"""End-to-end RNE construction — Algorithm 1 as a one-call facade.
+
+:func:`build_rne` runs the full pipeline of the paper:
+
+1. build the partition hierarchy (Sec. IV-A),
+2. **hierarchy phase** — train the local embeddings level by level with the
+   focused learning-rate schedule and sub-graph-level samples,
+3. **vertex phase** — freeze the sub-graph levels and train the vertex
+   level on landmark-based samples,
+4. **active fine-tuning** — error-driven sample selection on grid buckets,
+5. freeze everything into a flat :class:`~repro.core.model.RNEModel` plus a
+   tree index for range/kNN queries.
+
+``hierarchical=False`` skips the hierarchy and trains a flat table on
+random pairs — the paper's RNE-Naive ablation arm.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..algorithms.landmarks import select_landmarks
+from ..graph import Graph, PartitionHierarchy
+from .finetune import FinetuneResult, active_finetune
+from .hierarchical import HierarchicalRNE
+from .index import EmbeddingTreeIndex
+from .metrics import ErrorReport, error_report
+from .model import RNEModel, lp_distance
+from .sampling import (
+    DistanceLabeler,
+    GridBuckets,
+    landmark_samples,
+    random_pair_samples,
+    subgraph_level_samples,
+    validation_set,
+)
+from .training import (
+    TrainConfig,
+    TrainResult,
+    level_schedule,
+    new_adam_states,
+    train_flat,
+    train_hierarchical,
+    vertex_only_schedule,
+)
+
+
+@dataclass
+class RNEConfig:
+    """All knobs of the construction pipeline, with paper-informed defaults
+    scaled down to the synthetic-network sizes this repo runs."""
+
+    d: int = 32
+    p: float = 1.0
+    # hierarchy
+    hierarchical: bool = True
+    fanout: int = 4
+    leaf_size: int = 32
+    # phase 1
+    hier_samples_per_level: int = 15_000
+    hier_epochs: int = 4
+    # phase 2
+    vertex_samples: int = 60_000
+    vertex_epochs: int = 5
+    num_landmarks: int = 100
+    landmark_strategy: str = "farthest"
+    # phase 2.5 (engineering addition, see DESIGN.md): after the vertex
+    # phase, train ALL levels jointly on random pairs at a reduced rate.
+    # The focused schedule of phase 1 can leave coarse levels slightly
+    # inconsistent with the trained vertex level; a short joint polish
+    # lets them co-adjust, roughly halving the pre-fine-tuning error on
+    # irregular networks.  Set joint_epochs=0 for the paper's exact recipe.
+    joint_epochs: int = 4
+    joint_samples: int = 50_000
+    joint_lr_weight: float = 0.3
+    # phase 3
+    active: bool = True
+    finetune_rounds: int = 4
+    finetune_samples: int = 8_000
+    finetune_mode: str = "global"
+    grid_k: int = 12
+    # optimisation
+    optimizer: str = "adam"
+    lr: float = 0.02
+    batch_size: int = 2048
+    # evaluation
+    validation_size: int = 4000
+    seed: int = 0
+
+    def train_config(self, epochs: int, *, lr: float | None = None) -> TrainConfig:
+        return TrainConfig(
+            epochs=epochs,
+            batch_size=self.batch_size,
+            lr=self.lr if lr is None else lr,
+            optimizer=self.optimizer,
+        )
+
+
+@dataclass
+class BuildHistory:
+    """Everything measured during construction."""
+
+    phase_errors: dict[str, float] = field(default_factory=dict)
+    train_results: dict[str, TrainResult] = field(default_factory=dict)
+    finetune: FinetuneResult | None = None
+    build_seconds: float = 0.0
+    sssp_runs: int = 0
+    notes: list[str] = field(default_factory=list)
+
+
+class RNE:
+    """A trained road-network embedding: the queryable end product."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        model: RNEModel,
+        hierarchy: PartitionHierarchy | None,
+        history: BuildHistory,
+    ) -> None:
+        self.graph = graph
+        self.model = model
+        self.hierarchy = hierarchy
+        self.history = history
+        self.index = (
+            EmbeddingTreeIndex(hierarchy, model.matrix, model.p)
+            if hierarchy is not None
+            else None
+        )
+
+    # -- distance queries ------------------------------------------------
+    def query(self, s: int, t: int) -> float:
+        """Approximate shortest-path distance, O(d)."""
+        return self.model.query(s, t)
+
+    def query_pairs(self, pairs: np.ndarray) -> np.ndarray:
+        return self.model.query_pairs(pairs)
+
+    # -- spatial queries ---------------------------------------------------
+    def knn(self, source: int, targets: np.ndarray, k: int) -> np.ndarray:
+        """k nearest targets via the tree index (brute scan without one)."""
+        if self.index is not None:
+            return self.index.knn_query(source, targets, k)
+        return self.model.knn_brute(source, targets, k)
+
+    def range_query(self, source: int, targets: np.ndarray, tau: float) -> np.ndarray:
+        if self.index is not None:
+            return self.index.range_query(source, targets, tau)
+        targets = np.asarray(targets, dtype=np.int64)
+        dists = self.model.distances_from(source, targets)
+        return np.sort(targets[dists <= tau])
+
+    def knn_join(self, sources: np.ndarray, targets: np.ndarray, k: int) -> np.ndarray:
+        """k nearest targets for *every* source — the paper's Uber workload.
+
+        Returns a ``(len(sources), k)`` id array.  Vectorised over the full
+        source x target distance matrix in chunks, so a 10k x 1k join is a
+        handful of numpy ops rather than 10M scalar queries.
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        sources = np.asarray(sources, dtype=np.int64)
+        targets = np.asarray(targets, dtype=np.int64)
+        k_eff = min(k, targets.size)
+        out = np.empty((sources.size, k_eff), dtype=np.int64)
+        t_vecs = self.model.matrix[targets]
+        chunk = max(1, 2_000_000 // max(targets.size, 1))
+        for start in range(0, sources.size, chunk):
+            block = sources[start : start + chunk]
+            diff = self.model.matrix[block][:, None, :] - t_vecs[None, :, :]
+            dists = lp_distance(diff, self.model.p)
+            part = np.argpartition(dists, k_eff - 1, axis=1)[:, :k_eff]
+            order = np.take_along_axis(dists, part, axis=1).argsort(axis=1)
+            out[start : start + chunk] = targets[
+                np.take_along_axis(part, order, axis=1)
+            ]
+        return out
+
+    # -- persistence -------------------------------------------------------
+    def save(self, path) -> None:
+        """Persist the trained artefact (matrix, metric, tree structure)."""
+        arrays = {"matrix": self.model.matrix, "p": np.float64(self.model.p)}
+        if self.hierarchy is not None:
+            arrays["anc_rows"] = self.hierarchy.anc_rows
+        np.savez_compressed(path, **arrays)
+
+    @classmethod
+    def load(cls, path, graph: Graph) -> "RNE":
+        """Revive a saved RNE against its (identical) graph."""
+        with np.load(path) as data:
+            model = RNEModel(np.array(data["matrix"]), p=float(data["p"]))
+            hierarchy = None
+            if "anc_rows" in data:
+                hierarchy = PartitionHierarchy.from_ancestor_rows(
+                    graph, np.array(data["anc_rows"])
+                )
+        return cls(graph, model, hierarchy, BuildHistory())
+
+    # -- accounting --------------------------------------------------------
+    def index_bytes(self) -> int:
+        total = self.model.index_bytes()
+        if self.index is not None:
+            total += self.index.index_bytes()
+        return total
+
+    def validate(self, pairs: np.ndarray, phi: np.ndarray) -> ErrorReport:
+        """Error report of this model on a labelled pair set."""
+        return error_report(self.query_pairs(pairs), phi)
+
+
+def _mean_distance_probe(
+    graph: Graph, labeler: DistanceLabeler, rng: np.random.Generator
+) -> float:
+    _, phi = random_pair_samples(graph, 512, labeler, rng, source_pool_size=16)
+    return float(np.mean(phi)) if phi.size else 1.0
+
+
+def build_rne(graph: Graph, config: RNEConfig | None = None) -> RNE:
+    """Train an RNE for ``graph`` — the paper's Algorithm 1 end to end."""
+    if config is None:
+        config = RNEConfig()
+    rng = np.random.default_rng(config.seed)
+    labeler = DistanceLabeler(graph)
+    history = BuildHistory()
+    start = time.perf_counter()
+
+    val_pairs, val_phi = validation_set(
+        graph, config.validation_size, labeler, seed=np.random.default_rng(config.seed + 99)
+    )
+    mean_phi = _mean_distance_probe(graph, labeler, rng)
+
+    if config.hierarchical:
+        model, hierarchy = _build_hierarchical(
+            graph, config, rng, labeler, history, val_pairs, val_phi, mean_phi
+        )
+    else:
+        model, hierarchy = _build_flat(
+            graph, config, rng, labeler, history, val_pairs, val_phi, mean_phi
+        )
+
+    history.build_seconds = time.perf_counter() - start
+    history.sssp_runs = labeler.sssp_runs
+    rne = RNE(graph, model, hierarchy, history)
+    history.phase_errors["final"] = rne.validate(val_pairs, val_phi).mean_rel
+    return rne
+
+
+def _init_scale(mean_phi: float, d: int) -> float:
+    """Std-dev so random init produces distances of the right magnitude.
+
+    For L1 and normal init, ``E||x - y||_1 = d * 2 * sigma / sqrt(pi)``;
+    solve for sigma at the probed mean distance.
+    """
+    return mean_phi * np.sqrt(np.pi) / (2.0 * d)
+
+
+def _build_hierarchical(
+    graph: Graph,
+    config: RNEConfig,
+    rng: np.random.Generator,
+    labeler: DistanceLabeler,
+    history: BuildHistory,
+    val_pairs: np.ndarray,
+    val_phi: np.ndarray,
+    mean_phi: float,
+) -> tuple[RNEModel, PartitionHierarchy]:
+    hierarchy = PartitionHierarchy(
+        graph, fanout=config.fanout, leaf_size=config.leaf_size, seed=rng
+    )
+    hmodel = HierarchicalRNE(
+        hierarchy,
+        config.d,
+        p=config.p,
+        init_scale=_init_scale(mean_phi, config.d),
+        seed=rng,
+    )
+
+    # Phase 1: level-by-level hierarchy embedding.
+    adam = new_adam_states(hmodel)
+    for focus in range(hierarchy.num_subgraph_levels):
+        pairs, phi = subgraph_level_samples(
+            hierarchy, focus, config.hier_samples_per_level, labeler, rng
+        )
+        schedule = level_schedule(focus, hmodel.num_levels)
+        res = train_hierarchical(
+            hmodel, pairs, phi, schedule, config.train_config(config.hier_epochs),
+            rng, adam_states=adam,
+        )
+        history.train_results[f"hier_level_{focus}"] = res
+    history.phase_errors["after_hierarchy"] = error_report(
+        hmodel.query_pairs(val_pairs), val_phi
+    ).mean_rel
+
+    # Phase 2: vertex embedding on landmark samples, coarse levels frozen.
+    landmarks = select_landmarks(
+        graph,
+        min(config.num_landmarks, graph.n),
+        strategy=config.landmark_strategy,
+        seed=rng,
+    )
+    pairs, phi = landmark_samples(graph, landmarks, config.vertex_samples, labeler, rng)
+    res = train_hierarchical(
+        hmodel,
+        pairs,
+        phi,
+        vertex_only_schedule(hmodel.num_levels),
+        config.train_config(config.vertex_epochs),
+        rng,
+        adam_states=adam,
+    )
+    history.train_results["vertex"] = res
+    history.phase_errors["after_vertex"] = error_report(
+        hmodel.query_pairs(val_pairs), val_phi
+    ).mean_rel
+
+    # Phase 2.5: joint all-level polish on random pairs.
+    if config.joint_epochs > 0:
+        pairs, phi = random_pair_samples(graph, config.joint_samples, labeler, rng)
+        res = train_hierarchical(
+            hmodel,
+            pairs,
+            phi,
+            np.full(hmodel.num_levels, config.joint_lr_weight),
+            config.train_config(config.joint_epochs),
+            rng,
+            adam_states=adam,
+        )
+        history.train_results["joint"] = res
+        history.phase_errors["after_joint"] = error_report(
+            hmodel.query_pairs(val_pairs), val_phi
+        ).mean_rel
+
+    # Phase 3: active fine-tuning on grid buckets.
+    if config.active:
+        if graph.coords is None:
+            history.notes.append("graph has no coordinates: fine-tuning skipped")
+        else:
+            buckets = GridBuckets(graph, config.grid_k, seed=rng)
+            history.finetune = active_finetune(
+                hmodel,
+                buckets,
+                labeler,
+                val_pairs,
+                val_phi,
+                rounds=config.finetune_rounds,
+                samples_per_round=config.finetune_samples,
+                mode=config.finetune_mode,
+                config=config.train_config(2, lr=config.lr / 2),
+                seed=rng,
+            )
+            history.phase_errors["after_finetune"] = history.finetune.mean_rel_errors[-1]
+
+    return hmodel.to_model(), hierarchy
+
+
+def _build_flat(
+    graph: Graph,
+    config: RNEConfig,
+    rng: np.random.Generator,
+    labeler: DistanceLabeler,
+    history: BuildHistory,
+    val_pairs: np.ndarray,
+    val_phi: np.ndarray,
+    mean_phi: float,
+) -> tuple[RNEModel, PartitionHierarchy | None]:
+    """RNE-Naive: flat table, random pairs, no structural help."""
+    model = RNEModel.random(
+        graph.n,
+        config.d,
+        p=config.p,
+        scale=_init_scale(mean_phi, config.d),
+        seed=rng,
+    )
+    total = (
+        config.hier_samples_per_level + config.vertex_samples
+    )  # same sample budget as the hierarchical arm, for fair ablations
+    pairs, phi = random_pair_samples(graph, total, labeler, rng)
+    res = train_flat(
+        model, pairs, phi,
+        config.train_config(config.hier_epochs + config.vertex_epochs), rng,
+    )
+    history.train_results["flat"] = res
+    history.phase_errors["after_flat"] = error_report(
+        model.query_pairs(val_pairs), val_phi
+    ).mean_rel
+
+    if config.active and graph.coords is not None:
+        buckets = GridBuckets(graph, config.grid_k, seed=rng)
+        history.finetune = active_finetune(
+            model,
+            buckets,
+            labeler,
+            val_pairs,
+            val_phi,
+            rounds=config.finetune_rounds,
+            samples_per_round=config.finetune_samples,
+            mode=config.finetune_mode,
+            config=config.train_config(2, lr=config.lr / 4),
+            seed=rng,
+        )
+        history.phase_errors["after_finetune"] = history.finetune.mean_rel_errors[-1]
+    return model, None

@@ -1,0 +1,348 @@
+"""Training-sample selection (Sec. V / Algorithm 2 of the paper).
+
+Three strategies, one per training phase:
+
+* **Sub-graph-level** — choose *cell pairs* uniformly at a given hierarchy
+  level, then vertices inside each cell, so the coarse level sees all
+  ``|P_l|^2`` relative positions evenly.
+* **Landmark-based** — pairs ``(u in U, v in V)`` against a small landmark
+  set, giving every vertex stable reference points during vertex-phase
+  training.
+* **Error-based (grid buckets)** — partition space into ``K x K`` grids,
+  bucket all grid pairs by grid-hop distance, and draw extra samples from
+  the buckets where the current model's validation error is largest
+  (the *active fine-tuning* data source).
+
+Ground-truth labelling is the expensive part: one Dijkstra per distinct
+source.  :class:`DistanceLabeler` amortises it by grouping pairs by source
+and caching SSSP rows, and every selection strategy funnels its sources
+through small per-cell/per-grid pools so the cache actually hits.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from ..algorithms.dijkstra import sssp_many
+from ..graph import Graph, PartitionHierarchy
+
+
+class DistanceLabeler:
+    """Ground-truth shortest-distance oracle with an SSSP row cache.
+
+    ``label(pairs)`` returns exact distances for a ``(k, 2)`` pair array,
+    running one SSSP per *distinct uncached source* (scipy's C Dijkstra)
+    and caching rows LRU-style.
+    """
+
+    def __init__(self, graph: Graph, *, cache_size: int = 4096) -> None:
+        if cache_size < 1:
+            raise ValueError(f"cache_size must be >= 1, got {cache_size}")
+        self.graph = graph
+        self._cache: OrderedDict[int, np.ndarray] = OrderedDict()
+        self._cache_size = cache_size
+        self.sssp_runs = 0
+
+    def row(self, source: int) -> np.ndarray:
+        """Distance row from ``source`` to every vertex."""
+        source = int(source)
+        if source in self._cache:
+            self._cache.move_to_end(source)
+            return self._cache[source]
+        row = sssp_many(self.graph, [source])[0]
+        self.sssp_runs += 1
+        self._cache[source] = row
+        if len(self._cache) > self._cache_size:
+            self._cache.popitem(last=False)
+        return row
+
+    def label(self, pairs: np.ndarray) -> np.ndarray:
+        """Exact distances for each ``(source, target)`` pair."""
+        pairs = np.asarray(pairs, dtype=np.int64)
+        out = np.empty(len(pairs))
+        sources, inverse = np.unique(pairs[:, 0], return_inverse=True)
+        # Resolve all rows up front (they may outnumber the cache capacity,
+        # so the local dict — not the cache — is the source of truth here).
+        resolved: dict[int, np.ndarray] = {}
+        missing = []
+        for s in sources:
+            s = int(s)
+            if s in self._cache:
+                resolved[s] = self._cache[s]
+                self._cache.move_to_end(s)
+            else:
+                missing.append(s)
+        if missing:
+            rows = sssp_many(self.graph, missing)
+            self.sssp_runs += len(missing)
+            for s, row in zip(missing, rows):
+                resolved[s] = row
+                self._cache[s] = row
+                if len(self._cache) > self._cache_size:
+                    self._cache.popitem(last=False)
+        for i, s in enumerate(sources):
+            mask = inverse == i
+            out[mask] = resolved[int(s)][pairs[mask, 1]]
+        return out
+
+
+def _finite_filter(pairs: np.ndarray, phi: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Drop unreachable pairs (infinite distance) — they cannot be embedded."""
+    ok = np.isfinite(phi)
+    return pairs[ok], phi[ok]
+
+
+# ----------------------------------------------------------------------
+# Phase 1: sub-graph-level selection
+# ----------------------------------------------------------------------
+def subgraph_level_samples(
+    hierarchy: PartitionHierarchy,
+    level: int,
+    count: int,
+    labeler: DistanceLabeler,
+    rng: np.random.Generator,
+    *,
+    sources_per_cell: int = 4,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Uniform cell-pair samples at ``level`` (Algorithm 2, lines 1-5).
+
+    Cell pairs are drawn uniformly (probability ``1/|P_l|^2``), then one
+    vertex inside each cell.  The source-side vertex comes from a small
+    per-cell pool so labelling costs at most ``sources_per_cell * |P_l|``
+    SSSP runs regardless of ``count``.
+    """
+    cells = hierarchy.cells(level)
+    pools = [
+        rng.choice(cell, size=min(sources_per_cell, cell.size), replace=False)
+        for cell in cells
+    ]
+    ci = rng.integers(len(cells), size=count)
+    cj = rng.integers(len(cells), size=count)
+    s = np.array([rng.choice(pools[i]) for i in ci], dtype=np.int64)
+    t = np.array([rng.choice(cells[j]) for j in cj], dtype=np.int64)
+    pairs = np.column_stack([s, t])
+    pairs = pairs[pairs[:, 0] != pairs[:, 1]]
+    phi = labeler.label(pairs)
+    return _finite_filter(pairs, phi)
+
+
+# ----------------------------------------------------------------------
+# Phase 2: landmark-based selection
+# ----------------------------------------------------------------------
+def landmark_samples(
+    graph: Graph,
+    landmarks: np.ndarray,
+    count: int,
+    labeler: DistanceLabeler,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Pairs ``(u in U, v in V)`` (Algorithm 2, lines 6-8).
+
+    Each sample relates a vertex to a landmark; with ``|U| << |V|`` every
+    landmark is hit often enough to pin the reference frame quickly.
+    """
+    landmarks = np.asarray(landmarks, dtype=np.int64)
+    s = landmarks[rng.integers(landmarks.size, size=count)]
+    t = rng.integers(graph.n, size=count).astype(np.int64)
+    pairs = np.column_stack([s, t])
+    pairs = pairs[pairs[:, 0] != pairs[:, 1]]
+    phi = labeler.label(pairs)
+    return _finite_filter(pairs, phi)
+
+
+def random_pair_samples(
+    graph: Graph,
+    count: int,
+    labeler: DistanceLabeler,
+    rng: np.random.Generator,
+    *,
+    source_pool_size: int = 512,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Near-uniform random pairs with bounded labelling cost.
+
+    Sources come from a fresh uniform pool of ``source_pool_size`` vertices
+    (so at most that many SSSP runs); targets are fully uniform.  Used for
+    the *Random* baseline of Fig. 12 and for validation sets.
+    """
+    pool = rng.choice(graph.n, size=min(source_pool_size, graph.n), replace=False)
+    s = pool[rng.integers(pool.size, size=count)]
+    t = rng.integers(graph.n, size=count).astype(np.int64)
+    pairs = np.column_stack([s, t])
+    pairs = pairs[pairs[:, 0] != pairs[:, 1]]
+    phi = labeler.label(pairs)
+    return _finite_filter(pairs, phi)
+
+
+def validation_set(
+    graph: Graph,
+    count: int,
+    labeler: DistanceLabeler,
+    seed: int | np.random.Generator | None = 12345,
+    *,
+    source_pool_size: int = 512,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Held-out labelled pairs for error evaluation."""
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    return random_pair_samples(
+        graph, count, labeler, rng, source_pool_size=source_pool_size
+    )
+
+
+# ----------------------------------------------------------------------
+# Phase 3: grid buckets + error-based selection
+# ----------------------------------------------------------------------
+class GridBuckets:
+    """``K x K`` spatial grid with grid-pair distance buckets (Sec. V-C).
+
+    Vertex pairs cannot be bucketed by true distance (that would need all
+    ``|V|^2`` distances), so the paper buckets *grid pairs* by the number of
+    grid steps between them — Manhattan grid distance in ``[0, 2K-2]`` —
+    giving ``R = 2K-1`` buckets that approximate distance intervals.
+
+    ``sample(bucket, count)`` draws a grid pair within the bucket with
+    probability proportional to ``|g_s| * |g_t|`` (so vertex pairs inside a
+    bucket are uniform), then one vertex from each grid.  Source-side
+    vertices come from fixed per-grid pools to keep labelling cheap.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        k: int = 12,
+        *,
+        source_pool_size: int = 4,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        if graph.coords is None:
+            raise ValueError("GridBuckets requires vertex coordinates")
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+        self.graph = graph
+        self.k = int(k)
+
+        coords = graph.coords
+        lo = coords.min(axis=0)
+        hi = coords.max(axis=0)
+        span = np.maximum(hi - lo, 1e-12)
+        cell = np.clip(((coords - lo) / span * k).astype(np.int64), 0, k - 1)
+        self.vertex_grid = cell[:, 1] * k + cell[:, 0]
+
+        self.grid_vertices: dict[int, np.ndarray] = {}
+        for g in np.unique(self.vertex_grid):
+            self.grid_vertices[int(g)] = np.nonzero(self.vertex_grid == g)[0]
+        self._pools = {
+            g: rng.choice(v, size=min(source_pool_size, v.size), replace=False)
+            for g, v in self.grid_vertices.items()
+        }
+
+        # Enumerate ordered non-empty grid pairs into buckets.
+        self.num_buckets = 2 * k - 1
+        occupied = np.array(sorted(self.grid_vertices), dtype=np.int64)
+        gx = occupied % k
+        gy = occupied // k
+        self._bucket_pairs: list[np.ndarray] = []
+        self._bucket_cumw: list[np.ndarray] = []
+        hop = np.abs(gx[:, None] - gx[None, :]) + np.abs(gy[:, None] - gy[None, :])
+        sizes = np.array([self.grid_vertices[int(g)].size for g in occupied])
+        for b in range(self.num_buckets):
+            ii, jj = np.nonzero(hop == b)
+            pairs = np.column_stack([occupied[ii], occupied[jj]])
+            weights = (sizes[ii] * sizes[jj]).astype(np.float64)
+            self._bucket_pairs.append(pairs)
+            self._bucket_cumw.append(np.cumsum(weights))
+
+    def bucket_weight(self, bucket: int) -> float:
+        """Number of vertex pairs represented by ``bucket``."""
+        cumw = self._bucket_cumw[bucket]
+        return float(cumw[-1]) if cumw.size else 0.0
+
+    def nonempty_buckets(self) -> np.ndarray:
+        """Indices of buckets that contain at least one grid pair."""
+        return np.array(
+            [b for b in range(self.num_buckets) if self.bucket_weight(b) > 0],
+            dtype=np.int64,
+        )
+
+    def sample(
+        self, bucket: int, count: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Draw ``count`` vertex pairs from ``bucket`` (may return fewer if
+        the bucket holds only degenerate same-vertex pairs)."""
+        pairs = self._bucket_pairs[bucket]
+        cumw = self._bucket_cumw[bucket]
+        if pairs.shape[0] == 0:
+            return np.empty((0, 2), dtype=np.int64)
+        picks = np.searchsorted(cumw, rng.random(count) * cumw[-1], side="right")
+        out = np.empty((count, 2), dtype=np.int64)
+        for i, gp in enumerate(picks):
+            gs, gt = pairs[gp]
+            pool = self._pools[int(gs)]
+            out[i, 0] = rng.choice(pool)
+            out[i, 1] = rng.choice(self.grid_vertices[int(gt)])
+        return out[out[:, 0] != out[:, 1]]
+
+    def bucket_of_pairs(self, pairs: np.ndarray) -> np.ndarray:
+        """Bucket index of each vertex pair (grid Manhattan hop count)."""
+        pairs = np.asarray(pairs, dtype=np.int64)
+        gs = self.vertex_grid[pairs[:, 0]]
+        gt = self.vertex_grid[pairs[:, 1]]
+        dx = np.abs(gs % self.k - gt % self.k)
+        dy = np.abs(gs // self.k - gt // self.k)
+        return dx + dy
+
+
+def error_based_samples(
+    buckets: GridBuckets,
+    bucket_errors: np.ndarray,
+    count: int,
+    labeler: DistanceLabeler,
+    rng: np.random.Generator,
+    *,
+    mode: str = "global",
+) -> tuple[np.ndarray, np.ndarray]:
+    """Samples targeted at under-fitting buckets (Algorithm 2, lines 9-17).
+
+    ``mode="local"`` draws everything from the single worst bucket;
+    ``mode="global"`` spreads draws proportionally to each bucket's error.
+    ``bucket_errors`` must have one (non-negative) entry per bucket; buckets
+    with zero weight are ignored.
+    """
+    bucket_errors = np.asarray(bucket_errors, dtype=np.float64)
+    if bucket_errors.shape != (buckets.num_buckets,):
+        raise ValueError(
+            f"bucket_errors must have shape ({buckets.num_buckets},), "
+            f"got {bucket_errors.shape}"
+        )
+    weights = bucket_errors.copy()
+    for b in range(buckets.num_buckets):
+        if buckets.bucket_weight(b) == 0:
+            weights[b] = 0.0
+
+    if mode == "local":
+        counts = np.zeros(buckets.num_buckets, dtype=np.int64)
+        counts[int(np.argmax(weights))] = count
+    elif mode == "global":
+        total = weights.sum()
+        if total <= 0:
+            weights = np.array(
+                [1.0 if buckets.bucket_weight(b) > 0 else 0.0
+                 for b in range(buckets.num_buckets)]
+            )
+            total = weights.sum()
+        counts = rng.multinomial(count, weights / total)
+    else:
+        raise ValueError(f"mode must be 'local' or 'global', got {mode!r}")
+
+    chunks = [
+        buckets.sample(b, int(c), rng)
+        for b, c in enumerate(counts)
+        if c > 0
+    ]
+    if not chunks:
+        return np.empty((0, 2), dtype=np.int64), np.empty(0)
+    pairs = np.vstack(chunks)
+    phi = labeler.label(pairs)
+    return _finite_filter(pairs, phi)

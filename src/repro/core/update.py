@@ -1,0 +1,124 @@
+"""Incremental model updates after edge-weight changes.
+
+An extension beyond the paper (its framework supports it directly): road
+networks change — congestion, closures, re-opened segments.  Rebuilding the
+whole embedding for every change wastes the structure that did not move;
+instead, :func:`update_rne` fine-tunes the *vertex level* on pairs sampled
+around the changed edges, exactly the machinery of the paper's phase
+②/③ restricted to the affected region.
+
+The procedure:
+
+1. collect the endpoint vertices of changed edges and their ``hops``-hop
+   neighbourhoods (the region whose distances can have changed);
+2. sample (affected vertex, random vertex) pairs, labelled on the *new*
+   graph;
+3. run vertex-level training (coarse levels frozen — the global layout is
+   unchanged by local weight edits) with a keep-best rollback.
+
+Returns the updated model's validation trace so callers can decide whether
+a full rebuild is warranted (e.g. after massive changes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..graph import Graph
+from .hierarchical import HierarchicalRNE
+from .metrics import error_report
+from .sampling import DistanceLabeler, validation_set
+from .training import TrainConfig, new_adam_states, train_hierarchical, vertex_only_schedule
+
+
+@dataclass
+class UpdateResult:
+    """Validation trace of an incremental update."""
+
+    affected_vertices: int = 0
+    error_before: float = 0.0
+    error_after: float = 0.0
+    round_errors: list[float] = field(default_factory=list)
+
+
+def affected_region(
+    graph: Graph, changed_edges: np.ndarray, *, hops: int = 2
+) -> np.ndarray:
+    """Vertices within ``hops`` of any changed edge's endpoints."""
+    changed_edges = np.asarray(changed_edges, dtype=np.int64).reshape(-1, 2)
+    frontier = np.unique(changed_edges.ravel())
+    seen = set(int(v) for v in frontier)
+    for _ in range(hops):
+        nxt = []
+        for v in frontier:
+            nxt.extend(int(u) for u in graph.neighbors(int(v)))
+        frontier = np.array([u for u in set(nxt) if u not in seen], dtype=np.int64)
+        seen.update(int(u) for u in frontier)
+    return np.array(sorted(seen), dtype=np.int64)
+
+
+def update_rne(
+    hmodel: HierarchicalRNE,
+    new_graph: Graph,
+    changed_edges: np.ndarray,
+    *,
+    hops: int = 2,
+    samples: int = 8000,
+    rounds: int = 3,
+    config: TrainConfig | None = None,
+    validation_size: int = 1000,
+    seed: int | np.random.Generator | None = 0,
+) -> UpdateResult:
+    """Fine-tune ``hmodel``'s vertex level against ``new_graph`` in place.
+
+    ``new_graph`` must have the same vertex set as the trained graph (the
+    usual traffic-update setting: weights change, topology does not —
+    closures are modelled as very large weights).
+    """
+    if new_graph.n != hmodel.n:
+        raise ValueError(
+            f"new graph has {new_graph.n} vertices, model expects {hmodel.n}"
+        )
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    labeler = DistanceLabeler(new_graph)
+    region = affected_region(new_graph, changed_edges, hops=hops)
+
+    val_pairs, val_phi = validation_set(
+        new_graph, validation_size, labeler, seed=np.random.default_rng(4242)
+    )
+    result = UpdateResult(affected_vertices=int(region.size))
+    result.error_before = error_report(
+        hmodel.query_pairs(val_pairs), val_phi
+    ).mean_rel
+
+    if config is None:
+        config = TrainConfig(epochs=2, lr=0.01)
+    adam = new_adam_states(hmodel)
+    schedule = vertex_only_schedule(hmodel.num_levels)
+
+    best_err = result.error_before
+    best_vertex = hmodel.locals[-1].copy()
+    for _ in range(rounds):
+        s = region[rng.integers(region.size, size=samples)]
+        t = rng.integers(new_graph.n, size=samples).astype(np.int64)
+        pairs = np.column_stack([s, t])
+        pairs = pairs[pairs[:, 0] != pairs[:, 1]]
+        phi = labeler.label(pairs)
+        ok = np.isfinite(phi)
+        train_hierarchical(
+            hmodel, pairs[ok], phi[ok], schedule, config, rng, adam_states=adam
+        )
+        err = error_report(hmodel.query_pairs(val_pairs), val_phi).mean_rel
+        result.round_errors.append(err)
+        if err < best_err:
+            best_err = err
+            best_vertex = hmodel.locals[-1].copy()
+
+    if result.round_errors and result.round_errors[-1] > best_err:
+        hmodel.locals[-1] = best_vertex
+    result.error_after = error_report(
+        hmodel.query_pairs(val_pairs), val_phi
+    ).mean_rel
+    return result

@@ -1,0 +1,33 @@
+"""Road-network substrate: graph core, generators, I/O and partitioning."""
+
+from .graph import Edge, Graph, GraphError
+from .generators import (
+    dataset,
+    delaunay_country,
+    grid_city,
+    multi_city,
+    radial_city,
+    with_travel_times,
+)
+from .hierarchy import HierarchyNode, PartitionHierarchy
+from .locator import VertexLocator
+from .partition import balance, bisect, cut_weight, partition_kway
+
+__all__ = [
+    "Edge",
+    "Graph",
+    "GraphError",
+    "HierarchyNode",
+    "PartitionHierarchy",
+    "VertexLocator",
+    "balance",
+    "bisect",
+    "cut_weight",
+    "dataset",
+    "delaunay_country",
+    "grid_city",
+    "multi_city",
+    "partition_kway",
+    "radial_city",
+    "with_travel_times",
+]

@@ -1,0 +1,317 @@
+"""Synthetic road-network generators.
+
+The paper evaluates on Beijing, Florida and Western-USA road networks.  Those
+datasets are not redistributable here, so these generators produce networks
+with the same *metric character*: planar, grid-like, locally sparse, with
+arterial structure and mild weight noise.  The reproduction claims in
+EXPERIMENTS.md are about curve shapes across methods, which depend on exactly
+these properties.
+
+Four families are provided:
+
+``grid_city``
+    Perturbed lattice with diagonal in-fill and random street removals —
+    Manhattan-style downtown.
+``radial_city``
+    Ring roads plus radial avenues — Beijing-style layout.
+``delaunay_country``
+    Delaunay triangulation of random sites, thinned — inter-city road
+    network in open terrain (Florida-style).
+``multi_city``
+    Several ``grid_city`` clusters connected by sparse highways — a
+    Western-USA-style multi-region graph.
+
+Every generator accepts a ``seed`` and returns a connected :class:`Graph`
+with planar coordinates attached.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import Delaunay
+
+from .graph import Graph
+
+
+def _rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def _euclid(coords: np.ndarray, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+    return np.linalg.norm(coords[u] - coords[v], axis=-1)
+
+
+def _ensure_connected(graph: Graph) -> Graph:
+    if graph.is_connected():
+        return graph
+    sub, _ = graph.largest_component()
+    return sub
+
+
+def grid_city(
+    rows: int = 24,
+    cols: int = 24,
+    *,
+    block: float = 100.0,
+    jitter: float = 0.15,
+    removal: float = 0.08,
+    diagonal: float = 0.05,
+    weight_noise: float = 0.1,
+    seed: int | np.random.Generator | None = None,
+) -> Graph:
+    """Perturbed street grid.
+
+    Parameters
+    ----------
+    rows, cols:
+        Lattice dimensions; the graph has at most ``rows * cols`` vertices.
+    block:
+        Nominal block length (edge weight unit).
+    jitter:
+        Vertex position noise as a fraction of ``block``.
+    removal:
+        Fraction of lattice edges randomly deleted (dead ends, rivers).
+    diagonal:
+        Fraction of cells that gain one diagonal street.
+    weight_noise:
+        Multiplicative lognormal-ish noise applied to edge lengths, modelling
+        curvature: real streets are longer than straight lines.
+    """
+    if rows < 2 or cols < 2:
+        raise ValueError("grid_city needs rows >= 2 and cols >= 2")
+    rng = _rng(seed)
+    n = rows * cols
+    ii, jj = np.divmod(np.arange(n), cols)
+    coords = np.column_stack([jj * block, ii * block]).astype(float)
+    coords += rng.normal(scale=jitter * block, size=coords.shape)
+
+    edges: list[tuple[int, int]] = []
+    right = np.nonzero(jj < cols - 1)[0]
+    edges.extend(zip(right, right + 1))
+    down = np.nonzero(ii < rows - 1)[0]
+    edges.extend(zip(down, down + cols))
+
+    cells = np.nonzero((ii < rows - 1) & (jj < cols - 1))[0]
+    diag_cells = cells[rng.random(cells.size) < diagonal]
+    for c in diag_cells:
+        if rng.random() < 0.5:
+            edges.append((c, c + cols + 1))
+        else:
+            edges.append((c + 1, c + cols))
+
+    edges_arr = np.asarray(edges, dtype=np.int64)
+    keep = rng.random(len(edges_arr)) >= removal
+    # Never drop everything; keep at least a spanning portion.
+    if keep.sum() < n - 1:
+        keep[:] = True
+    edges_arr = edges_arr[keep]
+
+    lengths = _euclid(coords, edges_arr[:, 0], edges_arr[:, 1])
+    lengths *= 1.0 + np.abs(rng.normal(scale=weight_noise, size=lengths.shape))
+    graph = Graph(
+        n,
+        zip(edges_arr[:, 0], edges_arr[:, 1], np.maximum(lengths, 1e-6)),
+        coords=coords,
+    )
+    return _ensure_connected(graph)
+
+
+def radial_city(
+    rings: int = 8,
+    spokes: int = 24,
+    *,
+    ring_gap: float = 400.0,
+    removal: float = 0.05,
+    weight_noise: float = 0.08,
+    seed: int | np.random.Generator | None = None,
+) -> Graph:
+    """Ring-and-spoke city: concentric ring roads crossed by radial avenues.
+
+    Vertex ``r * spokes + s`` sits on ring ``r`` (1-based radius) at angular
+    slot ``s``; a centre vertex with id ``rings * spokes`` joins the first
+    ring.
+    """
+    if rings < 1 or spokes < 3:
+        raise ValueError("radial_city needs rings >= 1 and spokes >= 3")
+    rng = _rng(seed)
+    n = rings * spokes + 1
+    centre = n - 1
+    angles = 2 * np.pi * np.arange(spokes) / spokes
+    coords = np.zeros((n, 2))
+    for r in range(rings):
+        radius = (r + 1) * ring_gap
+        base = r * spokes
+        coords[base : base + spokes, 0] = radius * np.cos(angles)
+        coords[base : base + spokes, 1] = radius * np.sin(angles)
+    coords += rng.normal(scale=0.03 * ring_gap, size=coords.shape)
+
+    edges: list[tuple[int, int]] = []
+    for r in range(rings):
+        base = r * spokes
+        for s in range(spokes):
+            edges.append((base + s, base + (s + 1) % spokes))  # along ring
+            if r + 1 < rings:
+                edges.append((base + s, base + spokes + s))  # outward spoke
+    for s in range(spokes):
+        edges.append((centre, s))
+
+    edges_arr = np.asarray(edges, dtype=np.int64)
+    keep = rng.random(len(edges_arr)) >= removal
+    if keep.sum() < n - 1:
+        keep[:] = True
+    edges_arr = edges_arr[keep]
+
+    lengths = _euclid(coords, edges_arr[:, 0], edges_arr[:, 1])
+    lengths *= 1.0 + np.abs(rng.normal(scale=weight_noise, size=lengths.shape))
+    graph = Graph(
+        n,
+        zip(edges_arr[:, 0], edges_arr[:, 1], np.maximum(lengths, 1e-6)),
+        coords=coords,
+    )
+    return _ensure_connected(graph)
+
+
+def delaunay_country(
+    n: int = 1000,
+    *,
+    extent: float = 100_000.0,
+    thinning: float = 0.35,
+    weight_noise: float = 0.15,
+    seed: int | np.random.Generator | None = None,
+) -> Graph:
+    """Thinned Delaunay triangulation over random sites.
+
+    A Delaunay triangulation is planar and its edges connect spatial
+    neighbours, which after thinning gives the sparse, roughly degree-3
+    topology of rural/inter-city road networks.
+    """
+    if n < 4:
+        raise ValueError("delaunay_country needs n >= 4")
+    rng = _rng(seed)
+    coords = rng.uniform(0.0, extent, size=(n, 2))
+    tri = Delaunay(coords)
+    pairs = set()
+    for simplex in tri.simplices:
+        for a in range(3):
+            u, v = int(simplex[a]), int(simplex[(a + 1) % 3])
+            pairs.add((min(u, v), max(u, v)))
+    edges_arr = np.asarray(sorted(pairs), dtype=np.int64)
+
+    lengths = _euclid(coords, edges_arr[:, 0], edges_arr[:, 1])
+    # Thin the longest edges first: long Delaunay edges cross regions where
+    # no road would exist.
+    order = np.argsort(lengths)
+    n_keep = max(n - 1, int(round(len(edges_arr) * (1.0 - thinning))))
+    kept = order[:n_keep]
+    edges_arr = edges_arr[kept]
+    lengths = lengths[kept]
+
+    lengths = lengths * (1.0 + np.abs(rng.normal(scale=weight_noise, size=lengths.shape)))
+    graph = Graph(
+        n,
+        zip(edges_arr[:, 0], edges_arr[:, 1], np.maximum(lengths, 1e-6)),
+        coords=coords,
+    )
+    return _ensure_connected(graph)
+
+
+def multi_city(
+    cities: int = 4,
+    city_rows: int = 14,
+    city_cols: int = 14,
+    *,
+    spacing: float = 20_000.0,
+    highways_per_city: int = 2,
+    highway_speedup: float = 2.0,
+    seed: int | np.random.Generator | None = None,
+) -> Graph:
+    """Several grid cities connected by sparse highways.
+
+    Cities are placed on a rough circle of radius ``spacing`` around the
+    origin.  ``highways_per_city`` edges connect each city's border vertices
+    to the next city's, with weights equal to the Euclidean gap divided by
+    ``highway_speedup`` (highways are faster per unit distance).
+    """
+    if cities < 2:
+        raise ValueError("multi_city needs at least 2 cities")
+    rng = _rng(seed)
+    offset = 0
+    all_edges: list[tuple[int, int, float]] = []
+    all_coords: list[np.ndarray] = []
+    city_ranges: list[tuple[int, int]] = []
+    for c in range(cities):
+        city = grid_city(city_rows, city_cols, seed=rng)
+        angle = 2 * np.pi * c / cities
+        shift = spacing * np.array([np.cos(angle), np.sin(angle)])
+        coords = city.coords + shift
+        all_coords.append(coords)
+        for e in city.edges():
+            all_edges.append((e.u + offset, e.v + offset, e.weight))
+        city_ranges.append((offset, offset + city.n))
+        offset += city.n
+
+    coords = np.vstack(all_coords)
+    for c in range(cities):
+        lo_a, hi_a = city_ranges[c]
+        lo_b, hi_b = city_ranges[(c + 1) % cities]
+        for _ in range(highways_per_city):
+            a = int(rng.integers(lo_a, hi_a))
+            b = int(rng.integers(lo_b, hi_b))
+            gap = float(np.linalg.norm(coords[a] - coords[b]))
+            all_edges.append((a, b, max(gap / highway_speedup, 1e-6)))
+
+    graph = Graph(offset, all_edges, coords=coords)
+    return _ensure_connected(graph)
+
+
+def with_travel_times(
+    graph: Graph,
+    *,
+    arterial_fraction: float = 0.15,
+    arterial_speed: float = 60.0,
+    local_speed: float = 30.0,
+    seed: int | np.random.Generator | None = None,
+) -> Graph:
+    """Convert length weights to travel-time weights.
+
+    A random ``arterial_fraction`` of edges becomes fast arterials; the
+    rest are local streets.  Time = length / speed, so the metric keeps the
+    paper's positive-symmetric structure but is no longer proportional to
+    geometry — a harder (and more realistic) setting for the geometric
+    baselines, while RNE is metric-agnostic.
+    """
+    if not 0.0 <= arterial_fraction <= 1.0:
+        raise ValueError(f"arterial_fraction must be in [0, 1], got {arterial_fraction}")
+    if arterial_speed <= 0 or local_speed <= 0:
+        raise ValueError("speeds must be positive")
+    rng = _rng(seed)
+    edges = []
+    for e in graph.edges():
+        speed = arterial_speed if rng.random() < arterial_fraction else local_speed
+        edges.append((e.u, e.v, e.weight / speed))
+    return Graph(graph.n, edges, coords=graph.coords)
+
+
+#: Named dataset registry used by the benchmark harness.  The three entries
+#: mirror the scale ordering of the paper's BJ / FLA / US-W datasets.
+def dataset(name: str, *, scale: float = 1.0, seed: int = 7) -> Graph:
+    """Build one of the named benchmark networks.
+
+    ``name`` is one of ``"BJ-S"`` (radial city, Beijing-like), ``"FLA-S"``
+    (Delaunay country, Florida-like), ``"USW-S"`` (multi-city, Western-USA
+    -like).  ``scale`` multiplies the vertex budget; the defaults give
+    roughly 1.2k / 3k / 6k vertices so the whole suite runs in seconds.
+    """
+    key = name.upper()
+    if key in ("BJ", "BJ-S"):
+        rings = max(2, int(round(10 * np.sqrt(scale))))
+        spokes = max(6, int(round(36 * np.sqrt(scale))))
+        return radial_city(rings, spokes, seed=seed)
+    if key in ("FLA", "FLA-S"):
+        return delaunay_country(max(16, int(round(3000 * scale))), seed=seed)
+    if key in ("USW", "US-W", "USW-S"):
+        side = max(4, int(round(16 * np.sqrt(scale))))
+        return multi_city(4, side, side, seed=seed)
+    raise KeyError(f"unknown dataset {name!r}; expected BJ-S, FLA-S or USW-S")

@@ -1,0 +1,254 @@
+"""Weighted-graph core used by every other subsystem.
+
+The :class:`Graph` class stores an undirected, positively weighted graph in
+compressed-sparse-row (CSR) form backed by numpy arrays.  This layout makes
+neighbourhood scans, Dijkstra runs and scipy interop cheap, and keeps memory
+linear in ``|V| + |E|`` — the same design constraint that motivates the paper
+(an all-pairs matrix would be ``Theta(|V|^2)``).
+
+Vertices are integers ``0..n-1``.  Optional 2-d coordinates (longitude /
+latitude, or synthetic plane positions) are carried alongside because the
+geometric baselines (Euclidean / Manhattan) and the grid bucketing of the
+active fine-tuning phase (Sec. V-C of the paper) need them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+from scipy import sparse
+
+
+class GraphError(ValueError):
+    """Raised when a graph is malformed (bad endpoints, weights, shapes)."""
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A single undirected edge with its weight."""
+
+    u: int
+    v: int
+    weight: float
+
+
+class Graph:
+    """Undirected weighted graph in CSR form.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices.
+    edges:
+        Iterable of ``(u, v, weight)`` triples.  Each undirected edge should
+        appear once; both directions are materialised internally.
+    coords:
+        Optional ``(n, 2)`` array of planar vertex coordinates.
+
+    Notes
+    -----
+    Self-loops are rejected (they never occur on road networks and would
+    corrupt shortest-path semantics).  Parallel edges are collapsed to the
+    minimum weight, matching how road datasets are normally cleaned.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        edges: Iterable[tuple[int, int, float]],
+        coords: np.ndarray | None = None,
+    ) -> None:
+        if n <= 0:
+            raise GraphError(f"graph must have at least one vertex, got n={n}")
+        self.n = int(n)
+
+        triples = [(int(u), int(v), float(w)) for u, v, w in edges]
+        self._validate_edges(triples)
+        triples = self._dedupe(triples)
+
+        us = np.fromiter((t[0] for t in triples), dtype=np.int64, count=len(triples))
+        vs = np.fromiter((t[1] for t in triples), dtype=np.int64, count=len(triples))
+        ws = np.fromiter((t[2] for t in triples), dtype=np.float64, count=len(triples))
+
+        # Materialise both directions, then sort by source to obtain CSR.
+        src = np.concatenate([us, vs])
+        dst = np.concatenate([vs, us])
+        wgt = np.concatenate([ws, ws])
+        order = np.argsort(src, kind="stable")
+        self._dst = dst[order]
+        self._wgt = wgt[order]
+        self._indptr = np.zeros(self.n + 1, dtype=np.int64)
+        np.add.at(self._indptr, src + 1, 1)
+        np.cumsum(self._indptr, out=self._indptr)
+
+        self._edge_list = triples
+        self.coords = self._validate_coords(coords)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    def _validate_edges(self, triples: Sequence[tuple[int, int, float]]) -> None:
+        for u, v, w in triples:
+            if not (0 <= u < self.n and 0 <= v < self.n):
+                raise GraphError(f"edge ({u}, {v}) out of range for n={self.n}")
+            if u == v:
+                raise GraphError(f"self-loop at vertex {u} is not allowed")
+            if not (w > 0) or not np.isfinite(w):
+                raise GraphError(f"edge ({u}, {v}) has non-positive weight {w}")
+
+    @staticmethod
+    def _dedupe(
+        triples: Sequence[tuple[int, int, float]],
+    ) -> list[tuple[int, int, float]]:
+        best: dict[tuple[int, int], float] = {}
+        for u, v, w in triples:
+            key = (u, v) if u < v else (v, u)
+            if key not in best or w < best[key]:
+                best[key] = w
+        return [(u, v, w) for (u, v), w in sorted(best.items())]
+
+    def _validate_coords(self, coords: np.ndarray | None) -> np.ndarray | None:
+        if coords is None:
+            return None
+        coords = np.asarray(coords, dtype=np.float64)
+        if coords.shape != (self.n, 2):
+            raise GraphError(
+                f"coords must have shape ({self.n}, 2), got {coords.shape}"
+            )
+        return coords
+
+    @classmethod
+    def from_networkx(cls, g) -> "Graph":
+        """Build from a networkx graph with ``weight`` edge attributes.
+
+        Node labels are mapped to ``0..n-1`` in sorted order; coordinates are
+        read from a ``pos`` node attribute when every node has one.
+        """
+        nodes = sorted(g.nodes())
+        index = {node: i for i, node in enumerate(nodes)}
+        edges = [
+            (index[u], index[v], float(data.get("weight", 1.0)))
+            for u, v, data in g.edges(data=True)
+        ]
+        coords = None
+        if all("pos" in g.nodes[node] for node in nodes):
+            coords = np.array([g.nodes[node]["pos"] for node in nodes], dtype=float)
+        return cls(len(nodes), edges, coords=coords)
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def m(self) -> int:
+        """Number of undirected edges."""
+        return len(self._edge_list)
+
+    def neighbors(self, u: int) -> np.ndarray:
+        """Neighbour vertex ids of ``u`` (read-only view)."""
+        return self._dst[self._indptr[u] : self._indptr[u + 1]]
+
+    def neighbor_weights(self, u: int) -> np.ndarray:
+        """Weights aligned with :meth:`neighbors` (read-only view)."""
+        return self._wgt[self._indptr[u] : self._indptr[u + 1]]
+
+    def degree(self, u: int) -> int:
+        return int(self._indptr[u + 1] - self._indptr[u])
+
+    def degrees(self) -> np.ndarray:
+        """Array of all vertex degrees."""
+        return np.diff(self._indptr)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate undirected edges once each."""
+        for u, v, w in self._edge_list:
+            yield Edge(u, v, w)
+
+    def edge_array(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return ``(u, v, w)`` arrays, one entry per undirected edge."""
+        if not self._edge_list:
+            empty_i = np.empty(0, dtype=np.int64)
+            return empty_i, empty_i.copy(), np.empty(0, dtype=np.float64)
+        arr = np.asarray(self._edge_list, dtype=np.float64)
+        return arr[:, 0].astype(np.int64), arr[:, 1].astype(np.int64), arr[:, 2]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return v in self.neighbors(u)
+
+    def edge_weight(self, u: int, v: int) -> float:
+        """Weight of edge ``(u, v)``; raises ``KeyError`` if absent."""
+        nbrs = self.neighbors(u)
+        hits = np.nonzero(nbrs == v)[0]
+        if hits.size == 0:
+            raise KeyError(f"no edge ({u}, {v})")
+        return float(self.neighbor_weights(u)[hits[0]])
+
+    # ------------------------------------------------------------------
+    # conversions
+    # ------------------------------------------------------------------
+    def to_csr_matrix(self) -> sparse.csr_matrix:
+        """scipy CSR adjacency matrix (symmetric)."""
+        return sparse.csr_matrix(
+            (self._wgt, self._dst, self._indptr), shape=(self.n, self.n)
+        )
+
+    def to_networkx(self):
+        """Convert to ``networkx.Graph`` (weights on edges, pos on nodes)."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(range(self.n))
+        g.add_weighted_edges_from(self._edge_list)
+        if self.coords is not None:
+            for i in range(self.n):
+                g.nodes[i]["pos"] = tuple(self.coords[i])
+        return g
+
+    def subgraph(self, vertices: Sequence[int]) -> tuple["Graph", np.ndarray]:
+        """Induced subgraph on ``vertices``.
+
+        Returns the subgraph (with vertices relabelled ``0..k-1`` in the
+        given order) and the array mapping new ids back to original ids.
+        """
+        vertices = np.asarray(vertices, dtype=np.int64)
+        if vertices.size == 0:
+            raise GraphError("subgraph needs at least one vertex")
+        local = {int(v): i for i, v in enumerate(vertices)}
+        if len(local) != vertices.size:
+            raise GraphError("subgraph vertex list contains duplicates")
+        edges = [
+            (local[u], local[v], w)
+            for u, v, w in self._edge_list
+            if u in local and v in local
+        ]
+        coords = self.coords[vertices] if self.coords is not None else None
+        return Graph(vertices.size, edges, coords=coords), vertices
+
+    # ------------------------------------------------------------------
+    # structure queries
+    # ------------------------------------------------------------------
+    def connected_components(self) -> np.ndarray:
+        """Component label per vertex (labels are 0-based, contiguous)."""
+        n_comp, labels = sparse.csgraph.connected_components(
+            self.to_csr_matrix(), directed=False
+        )
+        del n_comp
+        return labels
+
+    def is_connected(self) -> bool:
+        return bool(np.all(self.connected_components() == 0))
+
+    def largest_component(self) -> tuple["Graph", np.ndarray]:
+        """Induced subgraph on the largest connected component."""
+        labels = self.connected_components()
+        counts = np.bincount(labels)
+        keep = np.nonzero(labels == np.argmax(counts))[0]
+        return self.subgraph(keep)
+
+    def total_weight(self) -> float:
+        """Sum of all undirected edge weights."""
+        return float(sum(w for _, _, w in self._edge_list))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Graph(n={self.n}, m={self.m})"

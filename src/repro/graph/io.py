@@ -1,0 +1,120 @@
+"""Graph and embedding serialisation.
+
+Road-network benchmarks (including the paper's FLA and US-W datasets) are
+published in the 9th DIMACS Implementation Challenge format: a ``.gr`` file
+with ``a u v w`` arc lines and a ``.co`` file with ``v id x y`` coordinate
+lines.  This module reads and writes that format so the harness can run on
+the real datasets when a user supplies them, plus a simple whitespace edge
+list and an ``.npz`` container for trained embeddings.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TextIO
+
+import numpy as np
+
+from .graph import Graph, GraphError
+
+
+def load_dimacs(gr_path: str | os.PathLike, co_path: str | os.PathLike | None = None) -> Graph:
+    """Load a DIMACS ``.gr`` graph, optionally with ``.co`` coordinates.
+
+    DIMACS vertex ids are 1-based; they are shifted to 0-based.  Arcs appear
+    in both directions in the files; duplicates collapse to the minimum
+    weight inside :class:`Graph`.
+    """
+    n = None
+    edges: list[tuple[int, int, float]] = []
+    with open(gr_path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            tag = line[:1]
+            if tag == "c" or not line.strip():
+                continue
+            if tag == "p":
+                parts = line.split()
+                if len(parts) < 4:
+                    raise GraphError(f"bad DIMACS problem line: {line!r}")
+                n = int(parts[2])
+            elif tag == "a":
+                parts = line.split()
+                if len(parts) != 4:
+                    raise GraphError(f"bad DIMACS arc line: {line!r}")
+                edges.append((int(parts[1]) - 1, int(parts[2]) - 1, float(parts[3])))
+            else:
+                raise GraphError(f"unrecognised DIMACS line: {line!r}")
+    if n is None:
+        raise GraphError("DIMACS file has no 'p' problem line")
+
+    coords = None
+    if co_path is not None:
+        coords = np.zeros((n, 2))
+        with open(co_path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                if line[:1] != "v":
+                    continue
+                parts = line.split()
+                if len(parts) != 4:
+                    raise GraphError(f"bad DIMACS coordinate line: {line!r}")
+                coords[int(parts[1]) - 1] = (float(parts[2]), float(parts[3]))
+    return Graph(n, edges, coords=coords)
+
+
+def save_dimacs(graph: Graph, gr_path: str | os.PathLike, co_path: str | os.PathLike | None = None) -> None:
+    """Write ``graph`` in DIMACS format (both arc directions, 1-based ids)."""
+    with open(gr_path, "w", encoding="utf-8") as fh:
+        _write_gr(graph, fh)
+    if co_path is not None:
+        if graph.coords is None:
+            raise GraphError("graph has no coordinates to write")
+        with open(co_path, "w", encoding="utf-8") as fh:
+            fh.write(f"p aux sp co {graph.n}\n")
+            for i in range(graph.n):
+                x, y = graph.coords[i]
+                fh.write(f"v {i + 1} {x:.6f} {y:.6f}\n")
+
+
+def _write_gr(graph: Graph, fh: TextIO) -> None:
+    fh.write(f"p sp {graph.n} {2 * graph.m}\n")
+    for e in graph.edges():
+        fh.write(f"a {e.u + 1} {e.v + 1} {e.weight:.6f}\n")
+        fh.write(f"a {e.v + 1} {e.u + 1} {e.weight:.6f}\n")
+
+
+def load_edge_list(path: str | os.PathLike, *, n: int | None = None) -> Graph:
+    """Load a whitespace edge list: ``u v weight`` per line, 0-based ids."""
+    edges: list[tuple[int, int, float]] = []
+    max_id = -1
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 3:
+                raise GraphError(f"bad edge-list line: {line!r}")
+            u, v, w = int(parts[0]), int(parts[1]), float(parts[2])
+            edges.append((u, v, w))
+            max_id = max(max_id, u, v)
+    if n is None:
+        n = max_id + 1
+    return Graph(n, edges)
+
+
+def save_edge_list(graph: Graph, path: str | os.PathLike) -> None:
+    """Write a whitespace edge list, one undirected edge per line."""
+    with open(path, "w", encoding="utf-8") as fh:
+        for e in graph.edges():
+            fh.write(f"{e.u} {e.v} {e.weight:.6f}\n")
+
+
+def save_embedding(path: str | os.PathLike, matrix: np.ndarray, *, p: float = 1.0) -> None:
+    """Persist an embedding matrix with its metric order ``p`` to ``.npz``."""
+    np.savez_compressed(path, matrix=matrix, p=np.float64(p))
+
+
+def load_embedding(path: str | os.PathLike) -> tuple[np.ndarray, float]:
+    """Load an embedding saved by :func:`save_embedding`."""
+    with np.load(path) as data:
+        return np.array(data["matrix"]), float(data["p"])

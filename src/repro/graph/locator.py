@@ -1,0 +1,41 @@
+"""Coordinate snapping: map arbitrary (x, y) positions to graph vertices.
+
+Real queries arrive as GPS positions, not vertex ids.  ``VertexLocator``
+snaps positions to their nearest road-network vertex with a KD-tree, so
+the full pipeline is ``locate -> embed -> L1``, still search-free.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from .graph import Graph
+
+
+class VertexLocator:
+    """Nearest-vertex lookup over a road network's coordinates."""
+
+    def __init__(self, graph: Graph) -> None:
+        if graph.coords is None:
+            raise ValueError("VertexLocator requires vertex coordinates")
+        self.graph = graph
+        self._tree = cKDTree(graph.coords)
+
+    def locate(self, x: float, y: float) -> int:
+        """Vertex id nearest to ``(x, y)``."""
+        _, idx = self._tree.query((x, y))
+        return int(idx)
+
+    def locate_many(self, points: np.ndarray) -> np.ndarray:
+        """Vectorised snapping for a ``(k, 2)`` position array."""
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2 or points.shape[1] != 2:
+            raise ValueError(f"points must have shape (k, 2), got {points.shape}")
+        _, idx = self._tree.query(points)
+        return idx.astype(np.int64)
+
+    def snap_error(self, x: float, y: float) -> float:
+        """Euclidean gap between the position and its snapped vertex."""
+        d, _ = self._tree.query((x, y))
+        return float(d)

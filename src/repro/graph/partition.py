@@ -1,0 +1,313 @@
+"""Multilevel graph partitioning.
+
+The hierarchical RNE model (Sec. IV of the paper) is built on recursive graph
+partitioning; the paper uses the multilevel scheme of Karypis & Kumar [17].
+This module implements that scheme from scratch:
+
+1. **Coarsening** — repeated heavy-edge matching merges matched vertex pairs
+   until the graph is small.
+2. **Initial partitioning** — greedy weighted region growing on the coarsest
+   graph.
+3. **Uncoarsening + refinement** — the partition is projected back level by
+   level and improved with boundary Kernighan–Lin / Fiduccia–Mattheyses
+   style moves.
+
+``bisect`` produces a balanced 2-way split; ``partition_kway`` applies it
+recursively for arbitrary ``k``.  Both operate on vertex-weighted graphs so
+that recursion and coarsening preserve balance in terms of original
+vertices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .graph import Graph
+
+
+@dataclass
+class _Level:
+    """One coarsening level: the coarse graph plus the fine->coarse map."""
+
+    graph: "_WeightedGraph"
+    fine_to_coarse: np.ndarray
+
+
+class _WeightedGraph:
+    """Internal adjacency-list graph with vertex weights (merge counts)."""
+
+    def __init__(
+        self,
+        n: int,
+        adj: list[dict[int, float]],
+        vwgt: np.ndarray,
+    ) -> None:
+        self.n = n
+        self.adj = adj
+        self.vwgt = vwgt
+
+    @classmethod
+    def from_graph(cls, graph: Graph) -> "_WeightedGraph":
+        adj: list[dict[int, float]] = [dict() for _ in range(graph.n)]
+        for e in graph.edges():
+            adj[e.u][e.v] = adj[e.u].get(e.v, 0.0) + e.weight
+            adj[e.v][e.u] = adj[e.v].get(e.u, 0.0) + e.weight
+        return cls(graph.n, adj, np.ones(graph.n, dtype=np.float64))
+
+    def total_vwgt(self) -> float:
+        return float(self.vwgt.sum())
+
+
+def _heavy_edge_matching(
+    wg: _WeightedGraph, rng: np.random.Generator
+) -> np.ndarray:
+    """Match each vertex with its heaviest unmatched neighbour.
+
+    Returns ``match`` where ``match[u]`` is u's partner (or ``u`` itself if
+    unmatched).  Heavier edges are contracted first because collapsing them
+    loses the least cut information.
+    """
+    match = np.full(wg.n, -1, dtype=np.int64)
+    order = rng.permutation(wg.n)
+    for u in order:
+        if match[u] != -1:
+            continue
+        best, best_w = -1, -1.0
+        for v, w in wg.adj[u].items():
+            if match[v] == -1 and w > best_w:
+                best, best_w = v, w
+        if best == -1:
+            match[u] = u
+        else:
+            match[u] = best
+            match[best] = u
+    return match
+
+
+def _contract(wg: _WeightedGraph, match: np.ndarray) -> _Level:
+    """Build the coarse graph induced by a matching."""
+    fine_to_coarse = np.full(wg.n, -1, dtype=np.int64)
+    nxt = 0
+    for u in range(wg.n):
+        if fine_to_coarse[u] != -1:
+            continue
+        fine_to_coarse[u] = nxt
+        partner = match[u]
+        if partner != u:
+            fine_to_coarse[partner] = nxt
+        nxt += 1
+
+    vwgt = np.zeros(nxt, dtype=np.float64)
+    np.add.at(vwgt, fine_to_coarse, wg.vwgt)
+    adj: list[dict[int, float]] = [dict() for _ in range(nxt)]
+    for u in range(wg.n):
+        cu = fine_to_coarse[u]
+        for v, w in wg.adj[u].items():
+            cv = fine_to_coarse[v]
+            if cu == cv or u > v:
+                continue
+            adj[cu][cv] = adj[cu].get(cv, 0.0) + w
+            adj[cv][cu] = adj[cv].get(cu, 0.0) + w
+    return _Level(_WeightedGraph(nxt, adj, vwgt), fine_to_coarse)
+
+
+def _initial_bisection(
+    wg: _WeightedGraph, target_frac: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Greedy region growing: grow part 0 from a random seed until it holds
+    ``target_frac`` of the total vertex weight."""
+    total = wg.total_vwgt()
+    side = np.ones(wg.n, dtype=np.int8)
+    seed = int(rng.integers(wg.n))
+    frontier = [seed]
+    in_part = np.zeros(wg.n, dtype=bool)
+    grown = 0.0
+    while frontier and grown < target_frac * total:
+        # Pull the frontier vertex with the strongest connection to part 0.
+        best_i, best_gain = 0, -np.inf
+        for i, u in enumerate(frontier):
+            gain = sum(w for v, w in wg.adj[u].items() if in_part[v])
+            if gain > best_gain:
+                best_i, best_gain = i, gain
+        u = frontier.pop(best_i)
+        if in_part[u]:
+            continue
+        in_part[u] = True
+        side[u] = 0
+        grown += wg.vwgt[u]
+        for v in wg.adj[u]:
+            if not in_part[v]:
+                frontier.append(v)
+    # Unreached vertices of a disconnected graph fall to part 1, which is
+    # safe: refinement may still move them.
+    return side
+
+
+def _refine(
+    wg: _WeightedGraph,
+    side: np.ndarray,
+    target_frac: float,
+    *,
+    passes: int = 4,
+    imbalance: float = 0.1,
+) -> np.ndarray:
+    """Boundary KL/FM refinement.
+
+    Repeatedly moves the boundary vertex with the best cut-gain whose move
+    keeps both sides within ``imbalance`` of their target weights.  Each
+    pass visits every boundary vertex at most once (FM-style locking).
+    """
+    total = wg.total_vwgt()
+    target0 = target_frac * total
+    low0 = target0 * (1.0 - imbalance)
+    high0 = target0 * (1.0 + imbalance)
+    weight0 = float(wg.vwgt[side == 0].sum())
+
+    for _ in range(passes):
+        moved_any = False
+        locked = np.zeros(wg.n, dtype=bool)
+        while True:
+            best_u, best_gain = -1, 0.0
+            for u in range(wg.n):
+                if locked[u]:
+                    continue
+                internal = external = 0.0
+                for v, w in wg.adj[u].items():
+                    if side[v] == side[u]:
+                        internal += w
+                    else:
+                        external += w
+                if external == 0.0:
+                    continue  # not a boundary vertex
+                gain = external - internal
+                if side[u] == 0:
+                    new_w0 = weight0 - wg.vwgt[u]
+                else:
+                    new_w0 = weight0 + wg.vwgt[u]
+                if not (low0 <= new_w0 <= high0):
+                    continue
+                if gain > best_gain:
+                    best_u, best_gain = u, gain
+            if best_u == -1:
+                break
+            if side[best_u] == 0:
+                weight0 -= wg.vwgt[best_u]
+                side[best_u] = 1
+            else:
+                weight0 += wg.vwgt[best_u]
+                side[best_u] = 0
+            locked[best_u] = True
+            moved_any = True
+        if not moved_any:
+            break
+    return side
+
+
+def _bisect_weighted(
+    wg: _WeightedGraph,
+    target_frac: float,
+    rng: np.random.Generator,
+    *,
+    coarsen_to: int = 48,
+) -> np.ndarray:
+    """Multilevel bisection of an internal weighted graph."""
+    levels: list[_Level] = []
+    current = wg
+    while current.n > coarsen_to:
+        match = _heavy_edge_matching(current, rng)
+        level = _contract(current, match)
+        if level.graph.n >= current.n:  # no shrink: give up coarsening
+            break
+        levels.append(level)
+        current = level.graph
+
+    side = _initial_bisection(current, target_frac, rng)
+    side = _refine(current, side, target_frac)
+    for i in range(len(levels) - 1, -1, -1):
+        # Project the coarse labels onto this level's finer graph, refine.
+        side = side[levels[i].fine_to_coarse]
+        finer = wg if i == 0 else levels[i - 1].graph
+        side = _refine(finer, side, target_frac)
+    return side
+
+
+def bisect(
+    graph: Graph,
+    *,
+    target_frac: float = 0.5,
+    seed: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """Balanced 2-way partition of ``graph``.
+
+    Returns an int8 array of 0/1 side labels.  ``target_frac`` is the share
+    of vertices assigned side 0 (used by recursive k-way splitting for
+    non-power-of-two ``k``).
+    """
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    if graph.n == 1:
+        return np.zeros(1, dtype=np.int8)
+    wg = _WeightedGraph.from_graph(graph)
+    return _bisect_weighted(wg, target_frac, rng)
+
+
+def partition_kway(
+    graph: Graph,
+    k: int,
+    *,
+    seed: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """Partition ``graph`` into ``k`` balanced parts via recursive bisection.
+
+    Returns an int array of part labels in ``0..k-1``.  Parts are connected
+    *within the quality limits of refinement* — exact connectivity is not
+    guaranteed (neither does METIS guarantee it), and the hierarchy layer
+    tolerates that.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    labels = np.zeros(graph.n, dtype=np.int64)
+    _split(graph, np.arange(graph.n), k, 0, labels, rng)
+    return labels
+
+
+def _split(
+    graph: Graph,
+    vertices: np.ndarray,
+    k: int,
+    label_base: int,
+    labels: np.ndarray,
+    rng: np.random.Generator,
+) -> None:
+    if k == 1 or vertices.size <= 1:
+        labels[vertices] = label_base
+        return
+    k_left = k // 2
+    sub, mapping = graph.subgraph(vertices)
+    side = bisect(sub, target_frac=k_left / k, seed=rng)
+    left = mapping[side == 0]
+    right = mapping[side == 1]
+    if left.size == 0 or right.size == 0:
+        # Degenerate split (tiny or pathological subgraph): fall back to an
+        # arbitrary but balanced assignment so recursion always terminates.
+        half = max(1, int(round(vertices.size * k_left / k)))
+        left, right = mapping[:half], mapping[half:]
+    _split(graph, left, k_left, label_base, labels, rng)
+    _split(graph, right, k - k_left, label_base + k_left, labels, rng)
+
+
+def cut_weight(graph: Graph, labels: np.ndarray) -> float:
+    """Total weight of edges crossing between parts."""
+    us, vs, ws = graph.edge_array()
+    return float(ws[labels[us] != labels[vs]].sum())
+
+
+def balance(labels: np.ndarray, k: int | None = None) -> float:
+    """Max part size divided by ideal part size (1.0 = perfectly balanced)."""
+    if k is None:
+        k = int(labels.max()) + 1 if labels.size else 1
+    counts = np.bincount(labels, minlength=k)
+    ideal = labels.size / k
+    return float(counts.max() / ideal) if ideal > 0 else 1.0

@@ -1,0 +1,45 @@
+"""Tests for the SILC-style all-pairs index."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import AllPairsIndex, pair_distances
+from repro.algorithms.knn import knn_true, range_true
+
+
+class TestAllPairs:
+    @pytest.fixture(scope="class")
+    def index(self, small_grid):
+        return AllPairsIndex(small_grid)
+
+    def test_exact(self, small_grid, index, rng):
+        pairs = rng.integers(small_grid.n, size=(50, 2))
+        np.testing.assert_allclose(
+            index.query_pairs(pairs), pair_distances(small_grid, pairs)
+        )
+
+    def test_scalar_query(self, index):
+        assert index.query(0, 0) == 0.0
+
+    def test_memory_wall(self, small_grid):
+        with pytest.raises(MemoryError):
+            AllPairsIndex(small_grid, memory_limit=100)
+
+    def test_knn_matches_truth(self, small_grid, index, rng):
+        targets = rng.choice(small_grid.n, size=20, replace=False)
+        got = index.knn(0, targets, 5)
+        expected = knn_true(small_grid, 0, targets, 5)
+        got_d = index.query_pairs(np.column_stack([np.zeros(5, int), got]))
+        exp_d = index.query_pairs(np.column_stack([np.zeros(5, int), expected]))
+        np.testing.assert_allclose(np.sort(got_d), np.sort(exp_d))
+
+    def test_range_matches_truth(self, small_grid, index, rng):
+        targets = rng.choice(small_grid.n, size=25, replace=False)
+        tau = float(np.median(index.matrix[0, targets]))
+        got = index.range_query(0, targets, tau)
+        np.testing.assert_array_equal(
+            got, range_true(small_grid, 0, targets, tau)
+        )
+
+    def test_index_bytes_quadratic(self, small_grid, index):
+        assert index.index_bytes() == 8 * small_grid.n**2

@@ -1,0 +1,105 @@
+"""Tests for contraction hierarchies (exact CH and approximate ACH)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    ApproximateCH,
+    ContractionHierarchy,
+    INF,
+    pair_distances,
+)
+from repro.graph import Graph, grid_city
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return grid_city(10, 10, seed=3)
+
+
+@pytest.fixture(scope="module")
+def ch(grid):
+    return ContractionHierarchy(grid, seed=0)
+
+
+class TestExactCH:
+    def test_all_pairs_exact(self, grid, ch):
+        rng = np.random.default_rng(1)
+        pairs = rng.integers(grid.n, size=(60, 2))
+        truth = pair_distances(grid, pairs)
+        got = np.array([ch.query(int(s), int(t)) for s, t in pairs])
+        np.testing.assert_allclose(got, truth)
+
+    def test_same_vertex(self, ch):
+        assert ch.query(5, 5) == 0.0
+
+    def test_symmetry(self, grid, ch):
+        rng = np.random.default_rng(2)
+        for _ in range(10):
+            s, t = rng.integers(grid.n, size=2)
+            assert ch.query(int(s), int(t)) == pytest.approx(ch.query(int(t), int(s)))
+
+    def test_rank_is_permutation(self, grid, ch):
+        assert sorted(ch.rank.tolist()) == list(range(grid.n))
+
+    def test_upward_edges_point_up(self, grid, ch):
+        for u in range(grid.n):
+            for v, _ in ch._up_adj[u]:
+                assert ch.rank[v] > ch.rank[u]
+
+    def test_unreachable(self):
+        g = Graph(4, [(0, 1, 1.0), (2, 3, 1.0)])
+        ch = ContractionHierarchy(g, seed=0)
+        assert ch.query(0, 3) == INF
+
+    def test_line_graph(self, line_graph):
+        ch = ContractionHierarchy(line_graph, seed=0)
+        assert ch.query(0, 4) == pytest.approx(4.0)
+
+    def test_paper_example(self, tiny_graph):
+        ch = ContractionHierarchy(tiny_graph, seed=0)
+        assert ch.query(3, 7) == pytest.approx(8.0)  # d(v4, v8) = 8
+
+    def test_search_space_contains_self(self, grid, ch):
+        space = ch.search_space(7)
+        assert space[7] == 0.0
+
+    def test_index_bytes_positive(self, ch):
+        assert ch.index_bytes() > 0
+
+    def test_invalid_epsilon(self, grid):
+        with pytest.raises(ValueError):
+            ContractionHierarchy(grid, epsilon=-0.1)
+
+
+class TestACH:
+    def test_error_bounded_one_sided(self, grid):
+        """ACH never underestimates, and typically lands near the truth."""
+        ach = ApproximateCH(grid, epsilon=0.1, seed=0)
+        rng = np.random.default_rng(3)
+        pairs = rng.integers(grid.n, size=(60, 2))
+        truth = pair_distances(grid, pairs)
+        got = np.array([ach.query(int(s), int(t)) for s, t in pairs])
+        assert (got >= truth - 1e-9).all()
+        rel = (got - truth) / np.maximum(truth, 1e-12)
+        assert rel.mean() < 0.10  # loose sanity bound for epsilon=0.1
+
+    def test_fewer_shortcuts_than_exact(self, grid, ch):
+        ach = ApproximateCH(grid, epsilon=0.5, seed=0)
+        assert ach.num_shortcuts <= ch.num_shortcuts
+
+    def test_epsilon_zero_rejected(self, grid):
+        with pytest.raises(ValueError):
+            ApproximateCH(grid, epsilon=0.0)
+
+    def test_larger_epsilon_larger_error(self, grid):
+        rng = np.random.default_rng(4)
+        pairs = rng.integers(grid.n, size=(80, 2))
+        truth = pair_distances(grid, pairs)
+
+        def mean_rel(eps):
+            ach = ApproximateCH(grid, epsilon=eps, seed=0)
+            got = np.array([ach.query(int(s), int(t)) for s, t in pairs])
+            return ((got - truth) / np.maximum(truth, 1e-12)).mean()
+
+        assert mean_rel(0.05) <= mean_rel(0.8) + 1e-9

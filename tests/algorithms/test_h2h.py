@@ -1,0 +1,97 @@
+"""Tests for the tree-decomposition H2H index."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import H2HIndex, INF, pair_distances
+from repro.graph import Graph, grid_city
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return grid_city(10, 10, seed=5)
+
+
+@pytest.fixture(scope="module")
+def index(grid):
+    return H2HIndex(grid)
+
+
+class TestExactness:
+    def test_random_pairs_exact(self, grid, index):
+        rng = np.random.default_rng(0)
+        pairs = rng.integers(grid.n, size=(120, 2))
+        truth = pair_distances(grid, pairs)
+        got = np.array([index.query(int(s), int(t)) for s, t in pairs])
+        np.testing.assert_allclose(got, truth)
+
+    def test_same_vertex(self, index):
+        assert index.query(7, 7) == 0.0
+
+    def test_symmetry(self, grid, index):
+        rng = np.random.default_rng(1)
+        for _ in range(15):
+            s, t = (int(x) for x in rng.integers(grid.n, size=2))
+            assert index.query(s, t) == pytest.approx(index.query(t, s))
+
+    def test_paper_example(self, tiny_graph):
+        h = H2HIndex(tiny_graph)
+        assert h.query(3, 7) == pytest.approx(8.0)  # d(v4, v8) = 8
+
+    def test_line_graph(self, line_graph):
+        h = H2HIndex(line_graph)
+        for i in range(5):
+            for j in range(5):
+                assert h.query(i, j) == pytest.approx(abs(i - j))
+
+    def test_disconnected(self):
+        g = Graph(5, [(0, 1, 1.0), (2, 3, 2.0), (3, 4, 1.0)])
+        h = H2HIndex(g)
+        assert h.query(0, 2) == INF
+        assert h.query(2, 4) == pytest.approx(3.0)
+
+    def test_ancestor_descendant_queries(self, grid, index):
+        """Pairs where one endpoint is an elimination-tree ancestor of the
+        other exercise the degenerate-LCA branch."""
+        v = 0
+        p = int(index.parent[v])
+        while p != -1:
+            expected = pair_distances(grid, np.array([[v, p]]))[0]
+            assert index.query(v, p) == pytest.approx(expected)
+            v, p = p, int(index.parent[p])
+
+
+class TestStructure:
+    def test_parent_eliminated_later(self, grid, index):
+        for v in range(grid.n):
+            p = index.parent[v]
+            if p != -1:
+                assert index._order[p] > index._order[v]
+
+    def test_depths_consistent(self, grid, index):
+        for v in range(grid.n):
+            p = index.parent[v]
+            if p != -1:
+                assert index.depth[v] == index.depth[p] + 1
+
+    def test_label_length_is_depth(self, grid, index):
+        for v in range(grid.n):
+            assert index._anc_dist[v].size == index.depth[v] + 1
+
+    def test_treewidth_small_on_grid(self, grid, index):
+        # A 10x10 grid has treewidth ~10; min-degree should stay near it.
+        assert index.treewidth_bound() <= 30
+
+    def test_index_bytes_positive(self, index):
+        assert index.index_bytes() > 0
+
+    def test_bag_members_are_ancestors(self, grid, index):
+        """The tree-decomposition invariant the query relies on."""
+        for v in range(0, grid.n, 7):
+            ancestors = set()
+            cursor = int(index.parent[v])
+            while cursor != -1:
+                ancestors.add(cursor)
+                cursor = int(index.parent[cursor])
+            for u in index._bags[v]:
+                assert int(u) in ancestors

@@ -1,0 +1,84 @@
+"""Tests for hub labelling (the H2H stand-in)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import ContractionHierarchy, HubLabels, INF, pair_distances
+from repro.graph import Graph, grid_city
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return grid_city(9, 9, seed=4)
+
+
+@pytest.fixture(scope="module")
+def labels(grid):
+    return HubLabels(grid, seed=0)
+
+
+class TestExactness:
+    def test_all_queries_exact(self, grid, labels):
+        rng = np.random.default_rng(0)
+        pairs = rng.integers(grid.n, size=(60, 2))
+        truth = pair_distances(grid, pairs)
+        got = np.array([labels.query(int(s), int(t)) for s, t in pairs])
+        np.testing.assert_allclose(got, truth)
+
+    def test_same_vertex(self, labels):
+        assert labels.query(3, 3) == 0.0
+
+    def test_unreachable_is_inf(self):
+        g = Graph(4, [(0, 1, 1.0), (2, 3, 1.0)])
+        hl = HubLabels(g, seed=0)
+        assert hl.query(0, 2) == INF
+
+    def test_paper_example(self, tiny_graph):
+        hl = HubLabels(tiny_graph, seed=0)
+        assert hl.query(3, 7) == pytest.approx(8.0)
+
+    def test_requires_exact_ch(self, grid):
+        from repro.algorithms import ApproximateCH
+
+        ach = ApproximateCH(grid, epsilon=0.1, seed=0)
+        with pytest.raises(ValueError):
+            HubLabels(grid, ch=ach)
+
+
+class TestLabelStructure:
+    def test_every_label_contains_self(self, grid, labels):
+        for v in range(grid.n):
+            hubs = labels._hubs[v]
+            assert v in hubs
+
+    def test_hubs_sorted(self, grid, labels):
+        for v in range(grid.n):
+            hubs = labels._hubs[v]
+            assert (np.diff(hubs) > 0).all()
+
+    def test_pruning_shrinks_labels(self, grid):
+        pruned = HubLabels(grid, prune=True, seed=0)
+        unpruned = HubLabels(grid, prune=False, seed=0)
+        assert pruned.average_label_size() <= unpruned.average_label_size()
+        # and stays exact
+        rng = np.random.default_rng(1)
+        pairs = rng.integers(grid.n, size=(30, 2))
+        truth = pair_distances(grid, pairs)
+        got = np.array([pruned.query(int(s), int(t)) for s, t in pairs])
+        np.testing.assert_allclose(got, truth)
+
+    def test_label_sizes_small(self, grid, labels):
+        # Hub labels on road-like graphs should be far below |V|.
+        assert labels.average_label_size() < grid.n / 2
+
+    def test_index_bytes_counts_labels(self, grid, labels):
+        total = sum(labels.label_size(v) for v in range(grid.n))
+        assert labels.index_bytes() == total * 16  # int64 + float64
+
+    def test_shared_ch_consistency(self, grid):
+        ch = ContractionHierarchy(grid, seed=5)
+        hl = HubLabels(grid, ch=ch)
+        rng = np.random.default_rng(2)
+        for _ in range(20):
+            s, t = (int(x) for x in rng.integers(grid.n, size=2))
+            assert hl.query(s, t) == pytest.approx(ch.query(s, t))

@@ -1,0 +1,77 @@
+"""Tests for exact network kNN / range ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import pair_distances
+from repro.algorithms.knn import knn_true, range_true
+from repro.graph import Graph
+
+
+class TestKnnTrue:
+    def test_line_graph(self, line_graph):
+        got = knn_true(line_graph, 0, np.array([1, 3, 4]), 2)
+        np.testing.assert_array_equal(got, [1, 3])
+
+    def test_k_larger_than_targets(self, line_graph):
+        got = knn_true(line_graph, 0, np.array([2, 4]), 10)
+        np.testing.assert_array_equal(got, [2, 4])
+
+    def test_source_in_targets(self, line_graph):
+        got = knn_true(line_graph, 2, np.array([0, 2, 4]), 1)
+        np.testing.assert_array_equal(got, [2])
+
+    def test_invalid_k(self, line_graph):
+        with pytest.raises(ValueError):
+            knn_true(line_graph, 0, np.array([1]), 0)
+
+    def test_matches_bruteforce(self, small_grid, rng):
+        targets = rng.choice(small_grid.n, size=15, replace=False)
+        source = 0
+        dists = pair_distances(
+            small_grid,
+            np.column_stack([np.full(targets.size, source), targets]),
+        )
+        expected = set(targets[np.argsort(dists, kind="stable")[:4]].tolist())
+        got = knn_true(small_grid, source, targets, 4)
+        # Sets compared because equal distances may tie-break differently.
+        got_dists = pair_distances(
+            small_grid, np.column_stack([np.full(4, source), got])
+        )
+        exp_dists = np.sort(dists)[:4]
+        np.testing.assert_allclose(np.sort(got_dists), exp_dists)
+        assert len(got) == 4
+
+    def test_unreachable_targets_omitted(self):
+        g = Graph(4, [(0, 1, 1.0), (2, 3, 1.0)])
+        got = knn_true(g, 0, np.array([1, 3]), 2)
+        np.testing.assert_array_equal(got, [1])
+
+
+class TestRangeTrue:
+    def test_line_graph(self, line_graph):
+        got = range_true(line_graph, 0, np.array([1, 2, 3, 4]), 2.5)
+        np.testing.assert_array_equal(got, [1, 2])
+
+    def test_zero_tau(self, line_graph):
+        got = range_true(line_graph, 2, np.array([0, 2, 4]), 0.0)
+        np.testing.assert_array_equal(got, [2])
+
+    def test_negative_tau(self, line_graph):
+        with pytest.raises(ValueError):
+            range_true(line_graph, 0, np.array([1]), -1.0)
+
+    def test_matches_bruteforce(self, small_grid, rng):
+        targets = rng.choice(small_grid.n, size=20, replace=False)
+        dists = pair_distances(
+            small_grid, np.column_stack([np.zeros(20, dtype=int), targets])
+        )
+        tau = float(np.median(dists))
+        expected = np.sort(targets[dists <= tau])
+        got = range_true(small_grid, 0, targets, tau)
+        np.testing.assert_array_equal(got, expected)
+
+    def test_everything_in_huge_range(self, small_grid):
+        targets = np.arange(small_grid.n)
+        got = range_true(small_grid, 0, targets, 1e12)
+        np.testing.assert_array_equal(got, targets)

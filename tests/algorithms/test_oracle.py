@@ -1,0 +1,90 @@
+"""Tests for the WSPD distance oracle."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import DistanceOracle, pair_distances
+from repro.graph import Graph, grid_city
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return grid_city(9, 9, seed=6)
+
+
+@pytest.fixture(scope="module")
+def oracle(grid):
+    return DistanceOracle(grid, epsilon=0.5)
+
+
+class TestConstruction:
+    def test_requires_coords(self):
+        g = Graph(2, [(0, 1, 1.0)])
+        with pytest.raises(ValueError):
+            DistanceOracle(g)
+
+    def test_invalid_epsilon(self, grid):
+        with pytest.raises(ValueError):
+            DistanceOracle(grid, epsilon=0.0)
+
+    def test_pair_cap_enforced(self, grid):
+        with pytest.raises(MemoryError):
+            DistanceOracle(grid, epsilon=0.25, max_pairs=10)
+
+    def test_pair_count_grows_with_precision(self, grid, oracle):
+        finer = DistanceOracle(grid, epsilon=0.25)
+        assert finer.num_pairs > oracle.num_pairs
+
+    def test_index_bytes(self, oracle):
+        assert oracle.index_bytes() > oracle.num_pairs * 24
+
+
+class TestQueries:
+    def test_same_vertex(self, oracle):
+        assert oracle.query(4, 4) == 0.0
+
+    def test_all_pairs_answerable(self, grid, oracle):
+        rng = np.random.default_rng(0)
+        pairs = rng.integers(grid.n, size=(100, 2))
+        for s, t in pairs:
+            d = oracle.query(int(s), int(t))
+            assert np.isfinite(d) and d >= 0.0
+
+    def test_error_reasonable(self, grid, oracle):
+        rng = np.random.default_rng(1)
+        pairs = rng.integers(grid.n, size=(100, 2))
+        pairs = pairs[pairs[:, 0] != pairs[:, 1]]
+        truth = pair_distances(grid, pairs)
+        got = np.array([oracle.query(int(s), int(t)) for s, t in pairs])
+        rel = np.abs(got - truth) / np.maximum(truth, 1e-12)
+        # Mean error should be well inside epsilon; tails can exceed it
+        # because the separation test uses geometric diameters.
+        assert rel.mean() < 0.5
+
+    def test_precision_improves_error(self, grid):
+        rng = np.random.default_rng(2)
+        pairs = rng.integers(grid.n, size=(150, 2))
+        pairs = pairs[pairs[:, 0] != pairs[:, 1]]
+        truth = pair_distances(grid, pairs)
+
+        def mean_rel(eps):
+            o = DistanceOracle(grid, epsilon=eps)
+            got = np.array([o.query(int(s), int(t)) for s, t in pairs])
+            return (np.abs(got - truth) / np.maximum(truth, 1e-12)).mean()
+
+        assert mean_rel(0.25) < mean_rel(1.0)
+
+    def test_symmetric_queries(self, grid, oracle):
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            s, t = (int(x) for x in rng.integers(grid.n, size=2))
+            # Representative distances are symmetric on undirected graphs.
+            assert oracle.query(s, t) == pytest.approx(oracle.query(t, s))
+
+    def test_knn_matches_bruteforce(self, grid, oracle):
+        rng = np.random.default_rng(4)
+        targets = rng.choice(grid.n, size=20, replace=False)
+        got = oracle.knn(0, targets, 5)
+        dists = np.array([oracle.query(0, int(t)) for t in targets])
+        expected = targets[np.argsort(dists, kind="stable")[:5]]
+        np.testing.assert_array_equal(got, expected)

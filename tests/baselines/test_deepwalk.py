@@ -1,0 +1,81 @@
+"""Tests for the from-scratch DeepWalk implementation."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DeepWalk, random_walks
+from repro.graph import Graph, grid_city
+
+
+class TestRandomWalks:
+    def test_shape(self, small_grid):
+        walks = random_walks(small_grid, num_walks=2, walk_length=10, rng=0)
+        assert walks.shape == (2 * small_grid.n, 10)
+
+    def test_walks_follow_edges(self, small_grid):
+        walks = random_walks(small_grid, num_walks=1, walk_length=8, rng=0)
+        for walk in walks[:20]:
+            for a, b in zip(walk[:-1], walk[1:]):
+                assert a == b or small_grid.has_edge(int(a), int(b))
+
+    def test_every_vertex_starts_walks(self, small_grid):
+        walks = random_walks(small_grid, num_walks=1, walk_length=5, rng=0)
+        assert set(walks[:, 0].tolist()) == set(range(small_grid.n))
+
+    def test_isolated_vertex_padding(self):
+        g = Graph(3, [(0, 1, 1.0)])  # vertex 2 isolated
+        walks = random_walks(g, num_walks=1, walk_length=5, rng=0)
+        iso = walks[walks[:, 0] == 2][0]
+        assert (iso == 2).all()
+
+    def test_deterministic(self, small_grid):
+        a = random_walks(small_grid, num_walks=1, walk_length=6, rng=3)
+        b = random_walks(small_grid, num_walks=1, walk_length=6, rng=3)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestDeepWalk:
+    @pytest.fixture(scope="class")
+    def dw(self):
+        # Big enough that random walks don't mix over the whole graph
+        # (on tiny graphs every vertex co-occurs with every other and the
+        # similarity signal degenerates).
+        g = grid_city(16, 16, seed=0)
+        return g, DeepWalk(
+            g, d=32, num_walks=6, walk_length=20, window=2, negatives=8,
+            epochs=3, seed=0,
+        )
+
+    def test_vectors_shape(self, dw):
+        g, model = dw
+        assert model.vectors.shape == (g.n, 32)
+
+    def test_vectors_finite(self, dw):
+        _, model = dw
+        assert np.isfinite(model.vectors).all()
+
+    def test_neighbors_more_similar_than_distant(self, dw):
+        """The core DeepWalk property: co-occurring nodes are similar."""
+        g, model = dw
+        rng = np.random.default_rng(1)
+        neighbor_sims = []
+        far_sims = []
+        for _ in range(60):
+            u = int(rng.integers(g.n))
+            nbrs = g.neighbors(u)
+            v = int(nbrs[rng.integers(nbrs.size)])
+            w = int(rng.integers(g.n))
+            neighbor_sims.append(model.similarity(u, v))
+            far_sims.append(model.similarity(u, w))
+        assert np.mean(neighbor_sims) > np.mean(far_sims)
+
+    def test_similarity_bounded(self, dw):
+        _, model = dw
+        for u, v in [(0, 1), (5, 30), (2, 2)]:
+            assert -1.0 - 1e-9 <= model.similarity(u, v) <= 1.0 + 1e-9
+
+    def test_context_pairs_window(self):
+        walks = np.array([[0, 1, 2, 3]])
+        pairs = DeepWalk._context_pairs(walks, window=1)
+        as_set = {tuple(p) for p in pairs}
+        assert as_set == {(0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2)}

@@ -1,0 +1,65 @@
+"""Tests for the DeepWalk-Regression (DR) baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DeepWalk, DeepWalkRegression
+from repro.core import DistanceLabeler, random_pair_samples
+from repro.graph import Graph, grid_city
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    g = grid_city(10, 10, seed=1)
+    dw = DeepWalk(
+        g, d=16, num_walks=4, walk_length=15, window=2, epochs=2, seed=0
+    )
+    dr = DeepWalkRegression(g, "10K", deepwalk=dw, seed=0)
+    labeler = DistanceLabeler(g)
+    rng = np.random.default_rng(0)
+    pairs, phi = random_pair_samples(g, 6000, labeler, rng)
+    dr.fit(pairs, phi, epochs=40, seed=0)
+    return g, dr, labeler
+
+
+class TestDR:
+    def test_requires_coords(self):
+        with pytest.raises(ValueError):
+            DeepWalkRegression(Graph(2, [(0, 1, 1.0)]))
+
+    def test_invalid_size(self, small_grid):
+        with pytest.raises(ValueError):
+            DeepWalkRegression(small_grid, "5K")
+
+    def test_parameter_buckets_ordered(self, small_grid):
+        dw = DeepWalk(small_grid, d=16, num_walks=2, walk_length=8, epochs=1, seed=0)
+        sizes = [
+            DeepWalkRegression(small_grid, s, deepwalk=dw).num_parameters
+            for s in ("1K", "10K", "100K")
+        ]
+        assert sizes[0] < sizes[1] < sizes[2]
+
+    def test_predictions_nonnegative(self, fitted, rng):
+        g, dr, _ = fitted
+        pairs = rng.integers(g.n, size=(50, 2))
+        assert (dr.query_pairs(pairs) >= 0).all()
+
+    def test_beats_guessing_mean(self, fitted, rng):
+        g, dr, labeler = fitted
+        pairs, phi = random_pair_samples(
+            g, 600, labeler, np.random.default_rng(42)
+        )
+        pred = dr.query_pairs(pairs)
+        dr_err = np.abs(pred - phi).mean()
+        mean_err = np.abs(phi.mean() - phi).mean()
+        assert dr_err < mean_err
+
+    def test_query_matches_pairs(self, fitted):
+        _, dr, _ = fitted
+        single = dr.query(0, 5)
+        batch = dr.query_pairs(np.array([[0, 5]]))[0]
+        assert single == pytest.approx(batch)
+
+    def test_index_bytes_positive(self, fitted):
+        _, dr, _ = fitted
+        assert dr.index_bytes() > 0

@@ -1,0 +1,97 @@
+"""Tests for Euclidean / Manhattan geometric baselines."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import pair_distances
+from repro.baselines import GeometricEstimator
+from repro.graph import Graph
+
+
+class TestEstimates:
+    def test_requires_coords(self):
+        with pytest.raises(ValueError):
+            GeometricEstimator(Graph(2, [(0, 1, 1.0)]))
+
+    def test_invalid_metric(self, small_grid):
+        with pytest.raises(ValueError):
+            GeometricEstimator(small_grid, "cosine")
+
+    def test_euclidean_values(self, line_graph):
+        est = GeometricEstimator(line_graph, "euclidean")
+        assert est.query(0, 4) == pytest.approx(4.0)
+
+    def test_manhattan_values(self, tiny_graph):
+        est = GeometricEstimator(tiny_graph, "manhattan")
+        # coords v1=(0,4), v13=(9,1): |9-0| + |1-4| = 12
+        assert est.query(0, 12) == pytest.approx(12.0)
+
+    def test_batch_matches_scalar(self, small_grid, rng):
+        est = GeometricEstimator(small_grid, "euclidean")
+        pairs = rng.integers(small_grid.n, size=(15, 2))
+        batch = est.query_pairs(pairs)
+        singles = [est.query(int(s), int(t)) for s, t in pairs]
+        np.testing.assert_allclose(batch, singles)
+
+    def test_euclidean_lower_bounds_network(self, small_grid, rng):
+        # grid_city weights >= straight-line, so Euclidean underestimates.
+        est = GeometricEstimator(small_grid, "euclidean")
+        pairs = rng.integers(small_grid.n, size=(40, 2))
+        truth = pair_distances(small_grid, pairs)
+        assert (est.query_pairs(pairs) <= truth + 1e-9).all()
+
+    def test_calibration_reduces_error(self, small_grid, rng):
+        est = GeometricEstimator(small_grid, "euclidean")
+        pairs = rng.integers(small_grid.n, size=(200, 2))
+        pairs = pairs[pairs[:, 0] != pairs[:, 1]]
+        truth = pair_distances(small_grid, pairs)
+        raw_err = np.abs(est.query_pairs(pairs) - truth).mean()
+        est.calibrate(pairs, truth)
+        cal_err = np.abs(est.query_pairs(pairs) - truth).mean()
+        assert cal_err < raw_err
+        assert est.scale > 1.0  # roads are longer than straight lines
+
+
+class TestSpatialQueries:
+    def test_knn_matches_bruteforce(self, small_grid, rng):
+        est = GeometricEstimator(small_grid, "euclidean")
+        targets = rng.choice(small_grid.n, size=20, replace=False)
+        got = est.knn(0, targets, 5)
+        dists = est.query_pairs(
+            np.column_stack([np.zeros(20, dtype=int), targets])
+        )
+        expected = targets[np.argsort(dists, kind="stable")[:5]]
+        np.testing.assert_allclose(
+            np.sort(est.query_pairs(np.column_stack([np.zeros(5, int), got]))),
+            np.sort(dists[np.argsort(dists)][:5]),
+        )
+        assert len(got) == 5
+        del expected
+
+    def test_knn_k_exceeds_targets(self, small_grid):
+        est = GeometricEstimator(small_grid, "euclidean")
+        got = est.knn(0, np.array([1, 2]), 5)
+        assert set(got.tolist()) == {1, 2}
+
+    def test_range_matches_bruteforce(self, small_grid, rng):
+        for metric in ("euclidean", "manhattan"):
+            est = GeometricEstimator(small_grid, metric)
+            targets = rng.choice(small_grid.n, size=25, replace=False)
+            dists = est.query_pairs(
+                np.column_stack([np.zeros(25, dtype=int), targets])
+            )
+            tau = float(np.median(dists))
+            expected = np.sort(targets[dists <= tau])
+            got = est.range_query(0, targets, tau)
+            np.testing.assert_array_equal(got, expected)
+
+    def test_range_respects_scale(self, small_grid, rng):
+        est = GeometricEstimator(small_grid, "euclidean", scale=2.0)
+        targets = rng.choice(small_grid.n, size=25, replace=False)
+        dists = est.query_pairs(
+            np.column_stack([np.zeros(25, dtype=int), targets])
+        )
+        tau = float(np.median(dists))
+        got = est.range_query(0, targets, tau)
+        expected = np.sort(targets[dists <= tau])
+        np.testing.assert_array_equal(got, expected)

@@ -1,0 +1,80 @@
+"""Tests for the multi-level G-tree (must be exact at every depth)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import pair_distances
+from repro.baselines import GTree
+from repro.graph import Graph, grid_city, multi_city
+
+
+class TestExactness:
+    @pytest.mark.parametrize("leaf_size", [8, 16, 48])
+    def test_exact_at_various_depths(self, leaf_size):
+        g = grid_city(11, 11, seed=6)
+        gt = GTree(g, fanout=4, leaf_size=leaf_size, seed=0)
+        rng = np.random.default_rng(0)
+        pairs = rng.integers(g.n, size=(120, 2))
+        truth = pair_distances(g, pairs)
+        got = np.array([gt.query(int(s), int(t)) for s, t in pairs])
+        np.testing.assert_allclose(got, truth)
+
+    def test_exact_on_multi_city(self):
+        """Highway topologies stress the cross-region assembly."""
+        g = multi_city(3, 6, 6, seed=2)
+        gt = GTree(g, fanout=4, leaf_size=12, seed=0)
+        rng = np.random.default_rng(1)
+        pairs = rng.integers(g.n, size=(100, 2))
+        truth = pair_distances(g, pairs)
+        got = np.array([gt.query(int(s), int(t)) for s, t in pairs])
+        np.testing.assert_allclose(got, truth)
+
+    def test_same_vertex(self):
+        g = grid_city(6, 6, seed=0)
+        gt = GTree(g, leaf_size=8, seed=0)
+        assert gt.query(3, 3) == 0.0
+
+    def test_same_leaf_pairs(self):
+        g = grid_city(8, 8, seed=1)
+        gt = GTree(g, leaf_size=16, seed=0)
+        leaf = next(iter(gt._leaf_mat))
+        verts = gt.hierarchy.nodes[leaf].vertices
+        if verts.size >= 2:
+            s, t = int(verts[0]), int(verts[1])
+            expected = pair_distances(g, np.array([[s, t]]))[0]
+            assert gt.query(s, t) == pytest.approx(expected)
+
+    def test_deep_tree_exact(self):
+        """Force 3+ levels and verify assembly through them."""
+        g = grid_city(14, 14, seed=3)
+        gt = GTree(g, fanout=2, leaf_size=8, seed=0)
+        assert gt.hierarchy.num_subgraph_levels >= 3
+        rng = np.random.default_rng(2)
+        pairs = rng.integers(g.n, size=(80, 2))
+        truth = pair_distances(g, pairs)
+        got = np.array([gt.query(int(s), int(t)) for s, t in pairs])
+        np.testing.assert_allclose(got, truth)
+
+
+class TestStructure:
+    def test_borders_are_cut_endpoints(self):
+        g = grid_city(8, 8, seed=4)
+        gt = GTree(g, leaf_size=16, seed=0)
+        for node in gt.hierarchy.nodes:
+            if node.level > gt._leaf_level:
+                continue
+            inside = np.zeros(g.n, dtype=bool)
+            inside[node.vertices] = True
+            for b in gt._borders[node.id]:
+                nbrs = g.neighbors(int(b))
+                assert (~inside[nbrs]).any()  # some edge leaves the region
+
+    def test_virtual_root_has_no_borders(self):
+        g = grid_city(6, 6, seed=0)
+        gt = GTree(g, leaf_size=8, seed=0)
+        assert gt._borders[gt.VIRTUAL_ROOT].size == 0
+
+    def test_index_bytes_positive(self):
+        g = grid_city(6, 6, seed=0)
+        gt = GTree(g, leaf_size=8, seed=0)
+        assert gt.index_bytes() > 0

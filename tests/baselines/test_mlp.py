@@ -1,0 +1,68 @@
+"""Tests for the numpy MLP regressor."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import MLPRegressor
+
+
+class TestStructure:
+    def test_parameter_count_linear(self):
+        mlp = MLPRegressor(4, hidden=())
+        assert mlp.num_parameters == 4 + 1  # weights + bias
+
+    def test_parameter_count_hidden(self):
+        mlp = MLPRegressor(4, hidden=(8,))
+        assert mlp.num_parameters == 4 * 8 + 8 + 8 * 1 + 1
+
+    def test_predict_shape(self):
+        mlp = MLPRegressor(3, hidden=(5,), seed=0)
+        out = mlp.predict(np.zeros((7, 3)))
+        assert out.shape == (7,)
+
+    def test_deterministic_init(self):
+        a = MLPRegressor(3, hidden=(4,), seed=2)
+        b = MLPRegressor(3, hidden=(4,), seed=2)
+        for wa, wb in zip(a.weights, b.weights):
+            np.testing.assert_allclose(wa, wb)
+
+
+class TestTraining:
+    def test_fits_linear_function(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(800, 3))
+        y = 2.0 * x[:, 0] - 1.0 * x[:, 1] + 0.5
+        mlp = MLPRegressor(3, hidden=(16,), seed=0)
+        losses = mlp.fit(x, y, epochs=60, lr=5e-3, seed=0)
+        assert losses[-1] < losses[0] * 0.1
+        pred = mlp.predict(x)
+        assert np.mean(np.abs(pred - y)) < 0.3 * np.mean(np.abs(y))
+
+    def test_fits_nonlinear_function(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(-1, 1, size=(1000, 2))
+        y = np.abs(x[:, 0]) + np.abs(x[:, 1])  # L1-ish target
+        mlp = MLPRegressor(2, hidden=(32, 16), seed=0)
+        mlp.fit(x, y, epochs=80, lr=5e-3, seed=0)
+        pred = mlp.predict(x)
+        rel = np.abs(pred - y).mean() / y.mean()
+        assert rel < 0.2
+
+    def test_loss_decreases(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(400, 4))
+        y = x.sum(axis=1)
+        mlp = MLPRegressor(4, hidden=(8,), seed=0)
+        losses = mlp.fit(x, y, epochs=20, seed=0)
+        assert losses[-1] < losses[0]
+
+    def test_target_scale_invariance(self):
+        """Normalisation means the same lr works for huge targets."""
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(500, 2))
+        y = (x[:, 0] + x[:, 1]) * 1e6
+        mlp = MLPRegressor(2, hidden=(8,), seed=0)
+        losses = mlp.fit(x, y, epochs=60, lr=5e-3, seed=0)
+        assert losses[-1] < losses[0] * 0.5
+        pred = mlp.predict(x)
+        assert np.mean(np.abs(pred - y)) < 0.5 * np.mean(np.abs(y))

@@ -1,0 +1,111 @@
+"""Tests for the G-tree / V-tree partition index (must be exact)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import pair_distances
+from repro.algorithms.knn import knn_true, range_true
+from repro.baselines import GTreeIndex
+from repro.graph import grid_city
+
+
+@pytest.fixture(scope="module")
+def setup():
+    g = grid_city(9, 9, seed=8)
+    return g, GTreeIndex(g, num_cells=6, seed=0)
+
+
+class TestPointQueries:
+    def test_exact_on_random_pairs(self, setup, rng):
+        g, idx = setup
+        pairs = rng.integers(g.n, size=(80, 2))
+        truth = pair_distances(g, pairs)
+        got = np.array([idx.query(int(s), int(t)) for s, t in pairs])
+        np.testing.assert_allclose(got, truth)
+
+    def test_same_vertex(self, setup):
+        _, idx = setup
+        assert idx.query(3, 3) == 0.0
+
+    def test_same_leaf_pairs_exact(self, setup):
+        g, idx = setup
+        # Pick two vertices in the same cell explicitly.
+        cell = idx.cells[0]
+        if cell.size >= 2:
+            s, t = int(cell[0]), int(cell[1])
+            assert idx.query(s, t) == pytest.approx(
+                pair_distances(g, np.array([[s, t]]))[0]
+            )
+
+    def test_invalid_cells(self, setup):
+        g, _ = setup
+        with pytest.raises(ValueError):
+            GTreeIndex(g, num_cells=1)
+
+
+class TestKnn:
+    def test_matches_exact_knn(self, setup, rng):
+        g, idx = setup
+        targets = rng.choice(g.n, size=25, replace=False)
+        for s in [0, 11, 47]:
+            for k in [1, 3, 8]:
+                got = idx.knn(s, targets, k)
+                expected = knn_true(g, s, targets, k)
+                # Compare by distance (ties may order differently).
+                got_d = pair_distances(
+                    g, np.column_stack([np.full(len(got), s), got])
+                )
+                exp_d = pair_distances(
+                    g, np.column_stack([np.full(len(expected), s), expected])
+                )
+                np.testing.assert_allclose(np.sort(got_d), np.sort(exp_d))
+
+    def test_invalid_k(self, setup):
+        _, idx = setup
+        with pytest.raises(ValueError):
+            idx.knn(0, np.array([1]), 0)
+
+    def test_k_exceeds_targets(self, setup):
+        _, idx = setup
+        got = idx.knn(0, np.array([1, 2]), 9)
+        assert set(got.tolist()) == {1, 2}
+
+
+class TestRange:
+    def test_matches_exact_range(self, setup, rng):
+        g, idx = setup
+        targets = rng.choice(g.n, size=30, replace=False)
+        sample_d = pair_distances(
+            g, np.column_stack([np.zeros(30, dtype=int), targets])
+        )
+        for frac in (0.3, 0.6):
+            tau = float(np.quantile(sample_d, frac))
+            got = idx.range_query(0, targets, tau)
+            expected = range_true(g, 0, targets, tau)
+            np.testing.assert_array_equal(got, expected)
+
+    def test_negative_tau(self, setup):
+        _, idx = setup
+        with pytest.raises(ValueError):
+            idx.range_query(0, np.array([1]), -0.5)
+
+    def test_index_bytes(self, setup):
+        _, idx = setup
+        assert idx.index_bytes() > 0
+
+
+class TestStructure:
+    def test_borders_have_cross_edges(self, setup):
+        g, idx = setup
+        us, vs, _ = g.edge_array()
+        cross = idx.labels[us] != idx.labels[vs]
+        expected_borders = set(np.concatenate([us[cross], vs[cross]]).tolist())
+        assert set(idx.all_borders.tolist()) == expected_borders
+
+    def test_b2b_diagonal_zero(self, setup):
+        _, idx = setup
+        np.testing.assert_allclose(np.diag(idx.b2b), 0.0)
+
+    def test_b2b_symmetric(self, setup):
+        _, idx = setup
+        np.testing.assert_allclose(idx.b2b, idx.b2b.T)

@@ -1,0 +1,40 @@
+"""Fast-mode integration tests for the design-choice ablations."""
+
+import pytest
+
+from repro.bench import ablations
+
+
+class TestAblations:
+    def test_joint_pass_structure(self):
+        out = ablations.ablate_joint_pass(fast=True)
+        assert set(out["results"]) == {"with joint pass", "without joint pass"}
+        for rec in out["results"].values():
+            assert 0 <= rec["mean_rel"] < 1.0
+            assert rec["build_s"] > 0
+        assert "joint polish" in out["report"]
+
+    def test_optimizer_structure(self):
+        out = ablations.ablate_optimizer(fast=True)
+        assert set(out["results"]) == {"lazy adam", "sgd (paper)"}
+        assert all(v > 0 for v in out["results"].values())
+
+    def test_landmark_strategy_structure(self):
+        out = ablations.ablate_landmark_strategy(fast=True)
+        assert set(out["results"]) == {"farthest", "random", "degree"}
+
+    def test_scaling_structure(self):
+        out = ablations.scaling_experiment(fast=True)
+        assert len(out["rows"]) == 2  # fast mode trims to two sizes
+        sizes = [r[0] for r in out["rows"]]
+        assert sizes == sorted(sizes)
+        assert len(out["oracle"]) == len(out["rows"])
+
+    @pytest.mark.parametrize(
+        "name",
+        ["ablate-joint", "ablate-optimizer", "ablate-landmarks", "scaling"],
+    )
+    def test_cli_registry_exposes_ablations(self, name):
+        from repro.bench.experiments import EXPERIMENTS
+
+        assert name in EXPERIMENTS

@@ -1,0 +1,126 @@
+"""Integration tests for the experiment runners (fast mode).
+
+These verify that each table/figure runner executes end to end, returns the
+documented structure, and — where cheap enough — that the paper's *shape*
+holds (e.g. RNE beats raw geometry on error).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import experiments as ex
+
+
+@pytest.fixture(scope="module")
+def comparison_data():
+    return ex.comparison(
+        datasets=("BJ-S",),
+        methods=("euclidean", "manhattan", "lt", "rne"),
+        fast=True,
+    )
+
+
+class TestComparison:
+    def test_records_complete(self, comparison_data):
+        recs = comparison_data["records"]
+        for m in comparison_data["methods"]:
+            assert ("BJ-S", m) in recs
+            rec = recs[("BJ-S", m)]
+            assert rec["query_us"] > 0
+            assert rec["index_bytes"] >= 0
+
+    def test_rne_beats_geometry_on_error(self, comparison_data):
+        recs = comparison_data["records"]
+        assert (
+            recs[("BJ-S", "rne")]["mean_rel"]
+            < recs[("BJ-S", "euclidean")]["mean_rel"]
+        )
+        assert (
+            recs[("BJ-S", "rne")]["mean_rel"]
+            < recs[("BJ-S", "manhattan")]["mean_rel"]
+        )
+
+    def test_rne_query_faster_than_lt(self, comparison_data):
+        recs = comparison_data["records"]
+        assert recs[("BJ-S", "rne")]["query_us"] < recs[("BJ-S", "lt")]["query_us"]
+
+    def test_tables_render(self, comparison_data):
+        t3 = ex.table3(data=comparison_data)
+        t4 = ex.table4(data=comparison_data)
+        assert "Table III" in t3 and "rne" in t3
+        assert "Table IV" in t4
+        assert "euclidean" not in t4  # no index -> excluded as in the paper
+
+
+class TestFigureRunners:
+    def test_fig9_shape(self):
+        out = ex.fig9_lp(ps=(1.0, 3.0), fast=True)
+        assert set(out["errors"]) == {1.0, 3.0}
+        assert "Fig 9" in out["report"]
+
+    def test_fig10_structure(self):
+        out = ex.fig10_dimension(
+            dims=(8, 16), sample_multipliers=(4, 16), fast=True
+        )
+        assert 8 in out["table"] and 16 in out["table"]
+        # More samples should not hurt much; check values are sane floats.
+        for d in out["table"]:
+            for v in out["table"][d].values():
+                assert 0 <= v < 1.5
+
+    def test_fig12_moderate_landmarks_best_shape(self):
+        out = ex.fig12_landmarks(fast=True)
+        assert "Random" in out["best"]
+        assert all(len(t) > 0 for t in out["traces"].values())
+
+    def test_fig13_structure(self):
+        out = ex.fig13_time_vs_distance(
+            methods=("lt", "rne"), fast=True
+        )
+        assert len(out["bounds"]) >= 1
+        for m in ("lt", "rne"):
+            assert len(out["times"][m]) == len(out["bounds"])
+
+    def test_fig15_cdf_monotone(self):
+        out = ex.fig15_error_cdf(
+            methods=("rne", "euclidean"), fast=True
+        )
+        for curve in out["curves"].values():
+            assert (np.diff(curve) >= -1e-12).all()
+
+    def test_fig15_rne_dominates_geometry(self):
+        out = ex.fig15_error_cdf(methods=("rne", "euclidean"), fast=True)
+        # At every threshold RNE answers at least as many queries accurately.
+        assert (out["curves"]["rne"] >= out["curves"]["euclidean"] - 0.05).all()
+
+    def test_fig17_structure(self):
+        out = ex.fig17_error_vs_distance(methods=("rne", "lt"), fast=True)
+        assert len(out["rel"]["rne"]) == len(out["bounds"])
+        assert all(e >= 0 for e in out["abs"]["lt"])
+
+
+@pytest.mark.slow
+class TestSlowRunners:
+    def test_fig11(self):
+        out = ex.fig11_hier_aft(fast=True)
+        finals = out["final"]
+        assert set(finals) == {
+            "RNE-Naive", "RNE-Hier", "RNE-Naive-AFT", "RNE-Hier-AFT",
+        }
+        # Hierarchical training should not lose to flat at equal budget.
+        assert finals["RNE-Hier"] <= finals["RNE-Naive"] * 1.5
+
+    def test_fig14(self):
+        out = ex.fig14_representation(multipliers=(1, 4), fast=True)
+        assert "RNE" in out["results"]
+        assert "DR-1K" in out["results"]
+
+    def test_fig16(self):
+        out = ex.fig16_range_knn(
+            tau_fractions=(0.1, 0.3), k_values=(1, 5), fast=True
+        )
+        # The exact G-tree must score F1 = 1 everywhere.
+        assert all(f == pytest.approx(1.0) for f in out["f1"]["G-tree"])
+        assert all(f == pytest.approx(1.0) for f in out["knn_f1"]["G-tree"])
+        # RNE should beat plain geometry on range F1 on average.
+        assert np.mean(out["f1"]["RNE"]) >= np.mean(out["f1"]["Euclidean"]) - 0.05

@@ -1,0 +1,78 @@
+"""Tests for the uniform method registry."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import pair_distances
+from repro.bench import build_method
+from repro.graph import grid_city
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return grid_city(8, 8, seed=2)
+
+
+@pytest.fixture(scope="module")
+def workload(grid):
+    rng = np.random.default_rng(0)
+    pairs = rng.integers(grid.n, size=(40, 2))
+    pairs = pairs[pairs[:, 0] != pairs[:, 1]]
+    return pairs, pair_distances(grid, pairs)
+
+
+EXACT = ["dijkstra", "ch", "h2h", "hl", "gtree", "silc"]
+APPROX = ["euclidean", "manhattan", "ach", "oracle", "lt"]
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", EXACT)
+    def test_exact_methods(self, grid, workload, name):
+        pairs, truth = workload
+        built = build_method(name, grid, seed=0)
+        assert built.exact
+        np.testing.assert_allclose(built.query_pairs(pairs), truth)
+
+    @pytest.mark.parametrize("name", APPROX)
+    def test_approximate_methods_reasonable(self, grid, workload, name):
+        pairs, truth = workload
+        built = build_method(name, grid, seed=0)
+        assert not built.exact
+        pred = built.query_pairs(pairs)
+        rel = np.abs(pred - truth) / np.maximum(truth, 1e-12)
+        assert rel.mean() < 0.5  # loose: even geometry is ~15% here
+
+    def test_unknown_method(self, grid):
+        with pytest.raises(KeyError):
+            build_method("nope", grid)
+
+    def test_query_matches_query_pairs(self, grid, workload):
+        pairs, _ = workload
+        built = build_method("lt", grid, seed=0)
+        s, t = int(pairs[0, 0]), int(pairs[0, 1])
+        assert built.query(s, t) == pytest.approx(
+            float(built.query_pairs(pairs[:1])[0])
+        )
+
+    def test_index_bytes_nonnegative(self, grid):
+        for name in ("euclidean", "ch", "lt"):
+            built = build_method(name, grid, seed=0)
+            assert built.index_bytes() >= 0
+
+    def test_rne_fast_quality(self, grid, workload):
+        pairs, truth = workload
+        built = build_method("rne", grid, seed=0, quality="fast")
+        pred = built.query_pairs(pairs)
+        rel = np.abs(pred - truth) / np.maximum(truth, 1e-12)
+        assert rel.mean() < 0.25
+        assert built.build_seconds > 0
+
+    def test_rne_naive_builds(self, grid):
+        built = build_method("rne-naive", grid, seed=0, quality="fast")
+        assert built.impl.hierarchy is None
+
+    def test_dr_builds(self, grid, workload):
+        pairs, truth = workload
+        built = build_method("dr-1k", grid, seed=0, train_samples=2000)
+        pred = built.query_pairs(pairs)
+        assert np.isfinite(pred).all()

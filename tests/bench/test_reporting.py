@@ -1,0 +1,48 @@
+"""Tests for text reporting helpers."""
+
+from repro.bench import format_series, format_table, human_bytes
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        out = format_table(
+            ["name", "value"], [["a", 1.5], ["bbbb", 22]], title="T"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "bbbb" in out and "1.5" in out
+
+    def test_column_widths_consistent(self):
+        out = format_table(["x"], [["looooong"], ["s"]])
+        lines = out.splitlines()
+        assert len(lines[1]) == len(lines[0])  # header pads to widest cell
+
+    def test_no_title(self):
+        out = format_table(["a"], [[1]])
+        assert not out.startswith("\n")
+
+
+class TestFormatSeries:
+    def test_arrows(self):
+        out = format_series("s", [1, 2], [0.5, 0.25])
+        assert "->" in out
+        assert out.splitlines()[0].startswith("s")
+
+    def test_labels(self):
+        out = format_series("s", [1], [2], x_label="d", y_label="err")
+        assert "(d -> err)" in out
+
+
+class TestHumanBytes:
+    def test_bytes(self):
+        assert human_bytes(512) == "512.0 B"
+
+    def test_kb(self):
+        assert human_bytes(2048) == "2.0 KB"
+
+    def test_mb(self):
+        assert human_bytes(3 * 1024**2) == "3.0 MB"
+
+    def test_gb(self):
+        assert human_bytes(5 * 1024**3) == "5.0 GB"

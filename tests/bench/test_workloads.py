@@ -1,0 +1,69 @@
+"""Tests for benchmark workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import pair_distances
+from repro.bench import distance_scale_groups, random_queries, spatial_workload
+
+
+class TestRandomQueries:
+    def test_truth_is_exact(self, small_grid):
+        w = random_queries(small_grid, 100, seed=0)
+        np.testing.assert_allclose(w.truth, pair_distances(small_grid, w.pairs))
+
+    def test_len(self, small_grid):
+        w = random_queries(small_grid, 80, seed=0)
+        assert len(w) == len(w.pairs) == len(w.truth)
+
+    def test_deterministic(self, small_grid):
+        a = random_queries(small_grid, 50, seed=3)
+        b = random_queries(small_grid, 50, seed=3)
+        np.testing.assert_array_equal(a.pairs, b.pairs)
+
+
+class TestScaleGroups:
+    def test_groups_ordered_and_bounded(self, medium_grid):
+        groups = distance_scale_groups(
+            medium_grid, num_groups=4, per_group=50, seed=0
+        )
+        assert len(groups) >= 2
+        bounds = [g.upper_bound for g in groups]
+        assert bounds == sorted(bounds)
+        for g in groups:
+            assert (g.truth <= g.upper_bound + 1e-9).all()
+
+    def test_group_sizes_capped(self, medium_grid):
+        groups = distance_scale_groups(
+            medium_grid, num_groups=3, per_group=40, seed=0
+        )
+        for g in groups:
+            assert len(g.pairs) <= 40
+
+    def test_truth_exact(self, medium_grid):
+        groups = distance_scale_groups(
+            medium_grid, num_groups=3, per_group=30, seed=1
+        )
+        for g in groups:
+            np.testing.assert_allclose(
+                g.truth, pair_distances(medium_grid, g.pairs)
+            )
+
+
+class TestSpatialWorkload:
+    def test_shapes(self, small_grid):
+        w = spatial_workload(small_grid, num_sources=10, num_targets=20, seed=0)
+        assert w.sources.shape == (10,)
+        assert w.targets.shape == (20,)
+
+    def test_unique(self, small_grid):
+        w = spatial_workload(small_grid, num_sources=10, num_targets=20, seed=0)
+        assert np.unique(w.sources).size == 10
+        assert np.unique(w.targets).size == 20
+
+    def test_capped_at_n(self, small_grid):
+        w = spatial_workload(
+            small_grid, num_sources=10_000, num_targets=10_000, seed=0
+        )
+        assert w.sources.size == small_grid.n
+        assert w.targets.size == small_grid.n

@@ -1,0 +1,53 @@
+"""Shared fixtures: small deterministic graphs reused across the suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph, grid_city
+
+
+@pytest.fixture(scope="session")
+def tiny_graph() -> Graph:
+    """The paper's Fig. 1 example: 13 vertices, 15 edges, known distances.
+
+    Vertices are 0-based (paper's v1..v13 -> 0..12).
+    """
+    edges = [
+        (0, 1, 3), (0, 2, 2), (1, 3, 2), (2, 3, 2), (2, 5, 3),
+        (3, 4, 4), (4, 6, 2), (5, 6, 2), (5, 7, 3), (6, 7, 3),
+        (7, 8, 2), (7, 9, 4), (8, 10, 3), (9, 11, 2), (10, 12, 2),
+    ]
+    coords = np.array(
+        [
+            (0, 4), (2, 5), (1, 3), (3, 3), (5, 4), (2, 1), (4, 2),
+            (4, 0), (6, 0), (2, -2), (8, 0), (1, -4), (9, 1),
+        ],
+        dtype=float,
+    )
+    return Graph(13, edges, coords=coords)
+
+
+@pytest.fixture(scope="session")
+def line_graph() -> Graph:
+    """Path 0-1-2-3-4 with unit weights: trivially verifiable distances."""
+    coords = np.column_stack([np.arange(5, dtype=float), np.zeros(5)])
+    return Graph(5, [(i, i + 1, 1.0) for i in range(4)], coords=coords)
+
+
+@pytest.fixture(scope="session")
+def small_grid() -> Graph:
+    """An 8x8 perturbed grid city (64 vertices), connected, with coords."""
+    return grid_city(8, 8, seed=42)
+
+
+@pytest.fixture(scope="session")
+def medium_grid() -> Graph:
+    """A 14x14 grid city used by training tests (196 vertices)."""
+    return grid_city(14, 14, seed=7)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)

@@ -1,0 +1,106 @@
+"""Tests for the hierarchical RNE model."""
+
+import numpy as np
+import pytest
+
+from repro.core import HierarchicalRNE
+from repro.graph import PartitionHierarchy
+
+
+@pytest.fixture(scope="module")
+def hierarchy(small_grid):
+    return PartitionHierarchy(small_grid, fanout=4, leaf_size=8, seed=0)
+
+
+@pytest.fixture()
+def hmodel(hierarchy):
+    return HierarchicalRNE(hierarchy, d=6, seed=0)
+
+
+class TestAssembly:
+    def test_global_matrix_shape(self, hmodel, small_grid):
+        assert hmodel.global_matrix().shape == (small_grid.n, 6)
+
+    def test_global_is_ancestor_sum(self, hmodel, hierarchy):
+        v = 11
+        expected = np.zeros(6)
+        for level in range(hierarchy.num_levels):
+            expected += hmodel.locals[level][hierarchy.anc_rows[v, level]]
+        np.testing.assert_allclose(hmodel.global_vectors(np.array([v]))[0], expected)
+
+    def test_node_vector_vertex_matches_global(self, hmodel, hierarchy):
+        depth = hierarchy.num_subgraph_levels
+        v = 5
+        node_id = hierarchy.levels[depth][v]
+        np.testing.assert_allclose(
+            hmodel.node_vector(node_id),
+            hmodel.global_vectors(np.array([v]))[0],
+        )
+
+    def test_query_consistency_with_model(self, hmodel):
+        model = hmodel.to_model()
+        for s, t in [(0, 1), (3, 9), (10, 10)]:
+            assert hmodel.query(s, t) == pytest.approx(model.query(s, t))
+
+    def test_query_pairs_matches_query(self, hmodel, rng, small_grid):
+        pairs = rng.integers(small_grid.n, size=(12, 2))
+        batch = hmodel.query_pairs(pairs)
+        singles = [hmodel.query(int(s), int(t)) for s, t in pairs]
+        np.testing.assert_allclose(batch, singles)
+
+    def test_shared_coarse_shift_invariance(self, hmodel, hierarchy):
+        """Shifting a level-0 local embedding must not change distances
+        between vertices under that same cell (shared ancestor cancels)."""
+        cell = hierarchy.cells(0)[0]
+        if cell.size < 2:
+            pytest.skip("need a cell with two vertices")
+        s, t = int(cell[0]), int(cell[1])
+        before = hmodel.query(s, t)
+        hmodel.locals[0][0] += 123.0
+        assert hmodel.query(s, t) == pytest.approx(before)
+
+
+class TestInit:
+    def test_init_scale_decays_per_level(self, hierarchy):
+        hm = HierarchicalRNE(hierarchy, d=8, init_scale=4.0, seed=0)
+        stds = [m.std() for m in hm.locals]
+        for upper, lower in zip(stds[:-1], stds[1:]):
+            assert lower < upper
+
+    def test_deterministic(self, hierarchy):
+        a = HierarchicalRNE(hierarchy, d=4, seed=3)
+        b = HierarchicalRNE(hierarchy, d=4, seed=3)
+        for ma, mb in zip(a.locals, b.locals):
+            np.testing.assert_allclose(ma, mb)
+
+    def test_invalid_d(self, hierarchy):
+        with pytest.raises(ValueError):
+            HierarchicalRNE(hierarchy, d=0)
+
+    def test_level_matrix_shapes(self, hierarchy):
+        hm = HierarchicalRNE(hierarchy, d=5, seed=0)
+        for level, matrix in enumerate(hm.locals):
+            assert matrix.shape == (hierarchy.level_size(level), 5)
+
+
+class TestClone:
+    def test_clone_independent(self, hmodel):
+        clone = hmodel.clone()
+        clone.locals[0][:] = 0.0
+        assert not np.allclose(hmodel.locals[0], 0.0)
+
+    def test_clone_shares_hierarchy(self, hmodel):
+        clone = hmodel.clone()
+        assert clone.hierarchy is hmodel.hierarchy
+
+    def test_clone_same_queries(self, hmodel):
+        clone = hmodel.clone()
+        assert clone.query(1, 7) == pytest.approx(hmodel.query(1, 7))
+
+
+class TestNorms:
+    def test_parameter_norm_positive(self, hmodel):
+        assert hmodel.parameter_norm() > 0
+
+    def test_index_bytes_is_frozen_size(self, hmodel, small_grid):
+        assert hmodel.index_bytes() == small_grid.n * 6 * 8

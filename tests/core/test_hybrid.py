@@ -1,0 +1,77 @@
+"""Tests for the certified hybrid estimator (RNE + landmark bounds)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import pair_distances
+from repro.core import HybridEstimator, RNEModel
+from repro.core.sampling import DistanceLabeler, random_pair_samples
+from repro.core.training import TrainConfig, train_flat
+
+
+@pytest.fixture(scope="module")
+def setup(medium_grid):
+    labeler = DistanceLabeler(medium_grid)
+    rng = np.random.default_rng(0)
+    pairs, phi = random_pair_samples(medium_grid, 8000, labeler, rng)
+    model = RNEModel.random(
+        medium_grid.n, 16, scale=float(np.mean(phi)) / 16, seed=0
+    )
+    train_flat(model, pairs, phi, TrainConfig(epochs=6, lr=0.05), rng)
+    hybrid = HybridEstimator(model, medium_grid, num_landmarks=12, seed=0)
+    return medium_grid, model, hybrid
+
+
+class TestCertificates:
+    def test_bounds_contain_truth(self, setup, rng):
+        graph, _, hybrid = setup
+        pairs = rng.integers(graph.n, size=(60, 2))
+        truth = pair_distances(graph, pairs)
+        est, lowers, uppers = hybrid.query_pairs(pairs)
+        assert (lowers <= truth + 1e-9).all()
+        assert (uppers >= truth - 1e-9).all()
+        assert (lowers <= est).all() and (est <= uppers).all()
+
+    def test_clamping_never_hurts(self, setup, rng):
+        graph, model, hybrid = setup
+        pairs = rng.integers(graph.n, size=(200, 2))
+        pairs = pairs[pairs[:, 0] != pairs[:, 1]]
+        truth = pair_distances(graph, pairs)
+        raw = model.query_pairs(pairs)
+        est, _, _ = hybrid.query_pairs(pairs)
+        raw_err = np.abs(raw - truth).mean()
+        hyb_err = np.abs(est - truth).mean()
+        assert hyb_err <= raw_err + 1e-9
+
+    def test_scalar_query(self, setup):
+        _, _, hybrid = setup
+        cert = hybrid.query(0, 10)
+        assert cert.lower <= cert.estimate <= cert.upper
+        assert cert.max_relative_error >= 0
+
+    def test_same_vertex(self, setup):
+        _, _, hybrid = setup
+        cert = hybrid.query(3, 3)
+        assert cert.estimate == cert.lower == cert.upper == 0.0
+        assert cert.max_relative_error == 0.0
+
+    def test_loose_queries_shrink_with_tolerance(self, setup, rng):
+        graph, _, hybrid = setup
+        pairs = rng.integers(graph.n, size=(100, 2))
+        strict = hybrid.loose_queries(pairs, tolerance=0.01)
+        relaxed = hybrid.loose_queries(pairs, tolerance=10.0)
+        assert len(relaxed) <= len(strict)
+
+    def test_more_landmarks_tighter(self, setup, rng):
+        graph, model, _ = setup
+        pairs = rng.integers(graph.n, size=(80, 2))
+        pairs = pairs[pairs[:, 0] != pairs[:, 1]]
+        small = HybridEstimator(model, graph, num_landmarks=4, seed=1)
+        big = HybridEstimator(model, graph, num_landmarks=24, seed=1)
+        _, lo_s, up_s = small.query_pairs(pairs)
+        _, lo_b, up_b = big.query_pairs(pairs)
+        assert (up_b - lo_b).mean() <= (up_s - lo_s).mean() + 1e-9
+
+    def test_index_bytes(self, setup):
+        _, model, hybrid = setup
+        assert hybrid.index_bytes() > model.index_bytes()

@@ -1,0 +1,112 @@
+"""Tests for error metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    absolute_errors,
+    bucketed_errors,
+    distance_scale_groups,
+    error_cdf,
+    error_report,
+    f1_score,
+    relative_errors,
+)
+
+
+class TestBasicErrors:
+    def test_absolute(self):
+        np.testing.assert_allclose(
+            absolute_errors([1.0, 2.0], [1.5, 1.0]), [0.5, 1.0]
+        )
+
+    def test_relative(self):
+        np.testing.assert_allclose(
+            relative_errors([1.0, 3.0], [2.0, 2.0]), [0.5, 0.5]
+        )
+
+    def test_report_fields(self):
+        rep = error_report([1.0, 2.2], [1.0, 2.0])
+        assert rep.mean_abs == pytest.approx(0.1)
+        assert rep.mean_rel == pytest.approx(0.05)
+        assert rep.max_rel == pytest.approx(0.1)
+        assert rep.count == 2
+
+    def test_report_filters_bad_rows(self):
+        rep = error_report([1.0, np.inf, 2.0], [1.0, 1.0, 0.0])
+        assert rep.count == 1
+
+    def test_report_empty(self):
+        rep = error_report([], [])
+        assert rep.count == 0
+        assert rep.mean_rel == 0.0
+
+    def test_report_str(self):
+        assert "e_rel" in str(error_report([1.0], [1.0]))
+
+
+class TestBuckets:
+    def test_bucketed_means(self):
+        pred = np.array([1.0, 2.0, 4.0])
+        truth = np.array([1.0, 1.0, 2.0])
+        ids = np.array([0, 0, 1])
+        rel, abs_, counts = bucketed_errors(pred, truth, ids, 3)
+        np.testing.assert_allclose(rel, [0.5, 1.0, 0.0])
+        np.testing.assert_allclose(abs_, [0.5, 2.0, 0.0])
+        np.testing.assert_array_equal(counts, [2, 1, 0])
+
+    def test_empty_bucket_zero(self):
+        rel, abs_, counts = bucketed_errors(
+            np.array([1.0]), np.array([1.0]), np.array([2]), 4
+        )
+        assert rel[0] == 0.0 and counts[0] == 0
+
+
+class TestCdf:
+    def test_monotone(self):
+        pred = np.array([1.0, 1.1, 1.5, 3.0])
+        truth = np.ones(4)
+        cdf = error_cdf(pred, truth, np.array([0.05, 0.2, 1.0, 5.0]))
+        assert (np.diff(cdf) >= 0).all()
+        assert cdf[-1] == 1.0
+
+    def test_values(self):
+        pred = np.array([1.0, 2.0])
+        truth = np.array([1.0, 1.0])
+        cdf = error_cdf(pred, truth, np.array([0.5]))
+        assert cdf[0] == 0.5
+
+
+class TestF1:
+    def test_perfect(self):
+        assert f1_score({1, 2}, {1, 2}) == 1.0
+
+    def test_both_empty(self):
+        assert f1_score(set(), set()) == 1.0
+
+    def test_one_empty(self):
+        assert f1_score(set(), {1}) == 0.0
+        assert f1_score({1}, set()) == 0.0
+
+    def test_partial(self):
+        # precision 0.5, recall 1.0 -> F1 = 2/3
+        assert f1_score({1, 2}, {1}) == pytest.approx(2 / 3)
+
+    def test_accepts_arrays(self):
+        assert f1_score(np.array([1, 2]), np.array([2, 1])) == 1.0
+
+
+class TestScaleGroups:
+    def test_groups_cover_and_bound(self):
+        truth = np.array([1.0, 5.0, 9.0, 2.0])
+        ids, edges = distance_scale_groups(truth, 3)
+        assert ids.shape == truth.shape
+        assert edges.shape == (3,)
+        assert edges[-1] == pytest.approx(9.0)
+        for d, g in zip(truth, ids):
+            assert d <= edges[g] + 1e-9
+
+    def test_ids_within_range(self):
+        truth = np.linspace(0.1, 10, 50)
+        ids, _ = distance_scale_groups(truth, 5)
+        assert ids.min() >= 0 and ids.max() <= 4

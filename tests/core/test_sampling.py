@@ -1,0 +1,211 @@
+"""Tests for training-sample selection and the distance labeler."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import pair_distances
+from repro.core import (
+    DistanceLabeler,
+    GridBuckets,
+    error_based_samples,
+    landmark_samples,
+    random_pair_samples,
+    subgraph_level_samples,
+    validation_set,
+)
+from repro.graph import Graph, PartitionHierarchy
+
+
+class TestDistanceLabeler:
+    def test_labels_exact(self, small_grid, rng):
+        labeler = DistanceLabeler(small_grid)
+        pairs = rng.integers(small_grid.n, size=(30, 2))
+        got = labeler.label(pairs)
+        np.testing.assert_allclose(got, pair_distances(small_grid, pairs))
+
+    def test_cache_avoids_reruns(self, small_grid):
+        labeler = DistanceLabeler(small_grid)
+        pairs = np.array([[0, 1], [0, 2], [0, 3]])
+        labeler.label(pairs)
+        runs = labeler.sssp_runs
+        labeler.label(np.array([[0, 5], [0, 6]]))
+        assert labeler.sssp_runs == runs  # same source, cached
+
+    def test_cache_eviction(self, small_grid):
+        labeler = DistanceLabeler(small_grid, cache_size=2)
+        labeler.label(np.array([[0, 1], [1, 2], [2, 3]]))
+        assert len(labeler._cache) <= 2
+
+    def test_row(self, small_grid):
+        labeler = DistanceLabeler(small_grid)
+        row = labeler.row(0)
+        assert row.shape == (small_grid.n,)
+        assert row[0] == 0.0
+
+    def test_invalid_cache_size(self, small_grid):
+        with pytest.raises(ValueError):
+            DistanceLabeler(small_grid, cache_size=0)
+
+
+class TestSubgraphLevelSamples:
+    def test_samples_labelled_correctly(self, small_grid, rng):
+        hierarchy = PartitionHierarchy(small_grid, fanout=4, leaf_size=8, seed=0)
+        labeler = DistanceLabeler(small_grid)
+        pairs, phi = subgraph_level_samples(hierarchy, 0, 300, labeler, rng)
+        np.testing.assert_allclose(phi, pair_distances(small_grid, pairs))
+
+    def test_no_self_pairs(self, small_grid, rng):
+        hierarchy = PartitionHierarchy(small_grid, fanout=4, leaf_size=8, seed=0)
+        labeler = DistanceLabeler(small_grid)
+        pairs, _ = subgraph_level_samples(hierarchy, 0, 300, labeler, rng)
+        assert (pairs[:, 0] != pairs[:, 1]).all()
+
+    def test_cell_pairs_covered(self, small_grid, rng):
+        """Uniform cell-pair selection should hit most cell pairs."""
+        hierarchy = PartitionHierarchy(small_grid, fanout=4, leaf_size=8, seed=0)
+        labeler = DistanceLabeler(small_grid)
+        pairs, _ = subgraph_level_samples(hierarchy, 0, 600, labeler, rng)
+        labels = hierarchy.vertex_labels(0)
+        seen = {(labels[s], labels[t]) for s, t in pairs}
+        k = hierarchy.level_size(0)
+        assert len(seen) >= k * k * 0.5
+
+    def test_labelling_cost_bounded(self, small_grid, rng):
+        hierarchy = PartitionHierarchy(small_grid, fanout=4, leaf_size=8, seed=0)
+        labeler = DistanceLabeler(small_grid)
+        subgraph_level_samples(
+            hierarchy, 0, 2000, labeler, rng, sources_per_cell=3
+        )
+        assert labeler.sssp_runs <= 3 * hierarchy.level_size(0)
+
+
+class TestLandmarkSamples:
+    def test_sources_are_landmarks(self, small_grid, rng):
+        labeler = DistanceLabeler(small_grid)
+        landmarks = np.array([3, 17, 40])
+        pairs, _ = landmark_samples(small_grid, landmarks, 200, labeler, rng)
+        assert set(np.unique(pairs[:, 0])) <= {3, 17, 40}
+
+    def test_labels_exact(self, small_grid, rng):
+        labeler = DistanceLabeler(small_grid)
+        pairs, phi = landmark_samples(
+            small_grid, np.array([0, 1]), 100, labeler, rng
+        )
+        np.testing.assert_allclose(phi, pair_distances(small_grid, pairs))
+
+    def test_every_landmark_used(self, small_grid, rng):
+        labeler = DistanceLabeler(small_grid)
+        landmarks = np.array([2, 9, 33, 50])
+        pairs, _ = landmark_samples(small_grid, landmarks, 400, labeler, rng)
+        assert set(np.unique(pairs[:, 0])) == {2, 9, 33, 50}
+
+
+class TestRandomPairs:
+    def test_source_pool_bounds_cost(self, small_grid, rng):
+        labeler = DistanceLabeler(small_grid)
+        random_pair_samples(small_grid, 1000, labeler, rng, source_pool_size=10)
+        assert labeler.sssp_runs <= 10
+
+    def test_unreachable_pairs_dropped(self, rng):
+        g = Graph(4, [(0, 1, 1.0), (2, 3, 1.0)])
+        labeler = DistanceLabeler(g)
+        pairs, phi = random_pair_samples(g, 300, labeler, rng, source_pool_size=4)
+        assert np.isfinite(phi).all()
+
+    def test_validation_set_deterministic(self, small_grid):
+        labeler = DistanceLabeler(small_grid)
+        a = validation_set(small_grid, 100, labeler, seed=5)
+        b = validation_set(small_grid, 100, labeler, seed=5)
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_allclose(a[1], b[1])
+
+
+class TestGridBuckets:
+    @pytest.fixture(scope="class")
+    def buckets(self, small_grid):
+        return GridBuckets(small_grid, k=4, seed=0)
+
+    def test_requires_coords(self):
+        g = Graph(2, [(0, 1, 1.0)])
+        with pytest.raises(ValueError):
+            GridBuckets(g)
+
+    def test_bucket_count(self, buckets):
+        assert buckets.num_buckets == 2 * 4 - 1
+
+    def test_every_vertex_in_a_grid(self, buckets, small_grid):
+        assert buckets.vertex_grid.shape == (small_grid.n,)
+        total = sum(v.size for v in buckets.grid_vertices.values())
+        assert total == small_grid.n
+
+    def test_bucket_weights_cover_all_pairs(self, buckets, small_grid):
+        total = sum(buckets.bucket_weight(b) for b in range(buckets.num_buckets))
+        assert total == pytest.approx(small_grid.n**2)
+
+    def test_sample_respects_bucket(self, buckets, rng):
+        for b in buckets.nonempty_buckets()[:3]:
+            pairs = buckets.sample(int(b), 50, rng)
+            if pairs.size == 0:
+                continue
+            got = buckets.bucket_of_pairs(pairs)
+            assert (got == b).all()
+
+    def test_bucket_of_pairs_zero_same_grid(self, buckets, small_grid):
+        v = 0
+        same = np.nonzero(buckets.vertex_grid == buckets.vertex_grid[v])[0]
+        if same.size > 1:
+            pairs = np.array([[same[0], same[1]]])
+            assert buckets.bucket_of_pairs(pairs)[0] == 0
+
+    def test_invalid_k(self, small_grid):
+        with pytest.raises(ValueError):
+            GridBuckets(small_grid, k=0)
+
+
+class TestErrorBasedSamples:
+    @pytest.fixture(scope="class")
+    def setup(self, small_grid):
+        buckets = GridBuckets(small_grid, k=4, seed=0)
+        labeler = DistanceLabeler(small_grid)
+        return buckets, labeler
+
+    def test_local_mode_picks_worst_bucket(self, setup, rng):
+        buckets, labeler = setup
+        errors = np.zeros(buckets.num_buckets)
+        worst = int(buckets.nonempty_buckets()[-1])
+        errors[worst] = 1.0
+        pairs, _ = error_based_samples(
+            buckets, errors, 60, labeler, rng, mode="local"
+        )
+        got = buckets.bucket_of_pairs(pairs)
+        assert (got == worst).all()
+
+    def test_global_mode_spreads(self, setup, rng):
+        buckets, labeler = setup
+        errors = np.ones(buckets.num_buckets)
+        pairs, _ = error_based_samples(
+            buckets, errors, 300, labeler, rng, mode="global"
+        )
+        got = set(buckets.bucket_of_pairs(pairs).tolist())
+        assert len(got) >= 3
+
+    def test_all_zero_errors_fall_back_uniform(self, setup, rng):
+        buckets, labeler = setup
+        errors = np.zeros(buckets.num_buckets)
+        pairs, phi = error_based_samples(
+            buckets, errors, 100, labeler, rng, mode="global"
+        )
+        assert len(pairs) > 0
+        assert len(pairs) == len(phi)
+
+    def test_invalid_mode(self, setup, rng):
+        buckets, labeler = setup
+        with pytest.raises(ValueError):
+            error_based_samples(
+                buckets, np.ones(buckets.num_buckets), 10, labeler, rng, mode="x"
+            )
+
+    def test_wrong_error_shape(self, setup, rng):
+        buckets, labeler = setup
+        with pytest.raises(ValueError):
+            error_based_samples(buckets, np.ones(3), 10, labeler, rng)

@@ -1,0 +1,184 @@
+"""Tests for the SGD/Adam embedding trainers."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DistanceLabeler,
+    HierarchicalRNE,
+    RNEModel,
+    TrainConfig,
+    TrainResult,
+    level_schedule,
+    random_pair_samples,
+    train_flat,
+    train_hierarchical,
+    vertex_only_schedule,
+)
+from repro.core.training import new_adam_states
+from repro.graph import PartitionHierarchy
+
+
+@pytest.fixture(scope="module")
+def labelled(medium_grid):
+    labeler = DistanceLabeler(medium_grid)
+    rng = np.random.default_rng(0)
+    pairs, phi = random_pair_samples(medium_grid, 6000, labeler, rng)
+    return pairs, phi
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        TrainConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"epochs": 0},
+            {"batch_size": 0},
+            {"lr": 0.0},
+            {"optimizer": "sgd2"},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            TrainConfig(**kwargs)
+
+
+class TestSchedules:
+    def test_level_schedule_peaks_at_focus(self):
+        lrs = level_schedule(1, 4)
+        assert lrs[1] == max(lrs)
+        np.testing.assert_allclose(lrs, [0.5, 1.0, 0.5, 1 / 3])
+
+    def test_vertex_only(self):
+        lrs = vertex_only_schedule(4)
+        np.testing.assert_allclose(lrs, [0, 0, 0, 1.0])
+
+    def test_alpha0_scales(self):
+        np.testing.assert_allclose(
+            level_schedule(0, 3, alpha0=2.0), [2.0, 1.0, 2 / 3]
+        )
+
+
+class TestTrainFlat:
+    def test_loss_decreases(self, medium_grid, labelled):
+        pairs, phi = labelled
+        model = RNEModel.random(
+            medium_grid.n, 16, scale=float(np.mean(phi)) / 16, seed=0
+        )
+        result = train_flat(model, pairs, phi, TrainConfig(epochs=6), rng=0)
+        assert result.mse[-1] < result.mse[0]
+        assert result.mean_rel_error[-1] < result.mean_rel_error[0]
+
+    def test_sgd_also_improves(self, medium_grid, labelled):
+        pairs, phi = labelled
+        model = RNEModel.random(
+            medium_grid.n, 16, scale=float(np.mean(phi)) / 16, seed=0
+        )
+        # SGD gradient magnitude ~ residual * d, so lr must be ~1/(2d).
+        config = TrainConfig(epochs=6, optimizer="sgd", lr=0.002)
+        result = train_flat(model, pairs, phi, config, rng=0)
+        assert result.mean_rel_error[-1] < result.mean_rel_error[0]
+
+    def test_empty_samples_noop(self, medium_grid):
+        model = RNEModel.random(medium_grid.n, 4, seed=0)
+        before = model.matrix.copy()
+        result = train_flat(
+            model, np.empty((0, 2), dtype=int), np.empty(0), TrainConfig(), rng=0
+        )
+        assert result.mse == []
+        np.testing.assert_allclose(model.matrix, before)
+
+    def test_mismatched_lengths(self, medium_grid):
+        model = RNEModel.random(medium_grid.n, 4, seed=0)
+        with pytest.raises(ValueError):
+            train_flat(model, np.zeros((3, 2), dtype=int), np.zeros(2), TrainConfig())
+
+    def test_deterministic(self, medium_grid, labelled):
+        pairs, phi = labelled
+        runs = []
+        for _ in range(2):
+            model = RNEModel.random(medium_grid.n, 8, seed=1)
+            train_flat(model, pairs, phi, TrainConfig(epochs=2), rng=7)
+            runs.append(model.matrix.copy())
+        np.testing.assert_allclose(runs[0], runs[1])
+
+    def test_result_extend(self):
+        a = TrainResult(mse=[1.0], mean_rel_error=[0.5])
+        b = TrainResult(mse=[0.5], mean_rel_error=[0.2])
+        a.extend(b)
+        assert a.mse == [1.0, 0.5]
+
+
+class TestTrainHierarchical:
+    @pytest.fixture()
+    def hmodel(self, medium_grid, labelled):
+        hierarchy = PartitionHierarchy(medium_grid, fanout=4, leaf_size=16, seed=0)
+        _, phi = labelled
+        scale = float(np.mean(phi)) * np.sqrt(np.pi) / (2 * 16)
+        return HierarchicalRNE(hierarchy, d=16, init_scale=scale, seed=0)
+
+    def test_loss_decreases(self, hmodel, labelled):
+        pairs, phi = labelled
+        lrs = np.ones(hmodel.num_levels)
+        result = train_hierarchical(
+            hmodel, pairs, phi, lrs, TrainConfig(epochs=6), rng=0
+        )
+        assert result.mean_rel_error[-1] < result.mean_rel_error[0]
+
+    def test_frozen_levels_do_not_move(self, hmodel, labelled):
+        pairs, phi = labelled
+        frozen = [m.copy() for m in hmodel.locals[:-1]]
+        result = train_hierarchical(
+            hmodel, pairs, phi, vertex_only_schedule(hmodel.num_levels),
+            TrainConfig(epochs=1), rng=0,
+        )
+        del result
+        for before, after in zip(frozen, hmodel.locals[:-1]):
+            np.testing.assert_allclose(before, after)
+        # vertex level must have moved
+        assert not np.allclose(hmodel.locals[-1], 0)
+
+    def test_bad_schedule_shape(self, hmodel, labelled):
+        pairs, phi = labelled
+        with pytest.raises(ValueError):
+            train_hierarchical(hmodel, pairs, phi, [1.0], TrainConfig())
+
+    def test_adam_states_threading(self, hmodel, labelled):
+        pairs, phi = labelled
+        states = new_adam_states(hmodel)
+        lrs = np.ones(hmodel.num_levels)
+        train_hierarchical(
+            hmodel, pairs[:2000], phi[:2000], lrs, TrainConfig(epochs=1),
+            rng=0, adam_states=states,
+        )
+        assert states[-1].t > 0
+
+    def test_hier_beats_flat_at_equal_budget(self, medium_grid, labelled):
+        """The paper's core Fig. 11 claim at miniature scale."""
+        pairs, phi = labelled
+        d = 16
+        scale = float(np.mean(phi)) * np.sqrt(np.pi) / (2 * d)
+
+        flat = RNEModel.random(medium_grid.n, d, scale=scale, seed=2)
+        train_flat(flat, pairs, phi, TrainConfig(epochs=5), rng=0)
+
+        hierarchy = PartitionHierarchy(medium_grid, fanout=4, leaf_size=16, seed=0)
+        hier = HierarchicalRNE(hierarchy, d=d, init_scale=scale, seed=2)
+        train_hierarchical(
+            hier, pairs, phi, np.ones(hier.num_levels),
+            TrainConfig(epochs=5), rng=0,
+        )
+
+        labeler = DistanceLabeler(medium_grid)
+        val_pairs, val_phi = random_pair_samples(
+            medium_grid, 1500, labeler, np.random.default_rng(99)
+        )
+        flat_err = np.mean(
+            np.abs(flat.query_pairs(val_pairs) - val_phi) / val_phi
+        )
+        hier_err = np.mean(
+            np.abs(hier.query_pairs(val_pairs) - val_phi) / val_phi
+        )
+        assert hier_err < flat_err

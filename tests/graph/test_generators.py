@@ -1,0 +1,108 @@
+"""Tests for the synthetic road-network generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    dataset,
+    delaunay_country,
+    grid_city,
+    multi_city,
+    radial_city,
+)
+
+
+class TestGridCity:
+    def test_connected_with_coords(self):
+        g = grid_city(10, 10, seed=0)
+        assert g.is_connected()
+        assert g.coords is not None
+        assert g.coords.shape == (g.n, 2)
+
+    def test_deterministic_with_seed(self):
+        a = grid_city(6, 6, seed=3)
+        b = grid_city(6, 6, seed=3)
+        assert a.n == b.n and a.m == b.m
+        np.testing.assert_allclose(a.coords, b.coords)
+
+    def test_different_seeds_differ(self):
+        a = grid_city(6, 6, seed=3)
+        b = grid_city(6, 6, seed=4)
+        assert not np.allclose(a.coords, b.coords)
+
+    def test_weights_at_least_geometric(self):
+        # Curvature noise only lengthens streets relative to straight line.
+        g = grid_city(6, 6, seed=1, jitter=0.0)
+        for e in g.edges():
+            geo = np.linalg.norm(g.coords[e.u] - g.coords[e.v])
+            assert e.weight >= geo - 1e-9
+
+    def test_rejects_degenerate_size(self):
+        with pytest.raises(ValueError):
+            grid_city(1, 5)
+
+    def test_sparse_degree(self):
+        g = grid_city(12, 12, seed=0)
+        assert g.degrees().mean() < 5  # road networks are locally sparse
+
+
+class TestRadialCity:
+    def test_connected(self):
+        g = radial_city(5, 16, seed=0)
+        assert g.is_connected()
+
+    def test_vertex_count(self):
+        g = radial_city(3, 8, seed=0, removal=0.0)
+        assert g.n == 3 * 8 + 1  # rings*spokes + centre
+
+    def test_rejects_too_few_spokes(self):
+        with pytest.raises(ValueError):
+            radial_city(3, 2)
+
+
+class TestDelaunayCountry:
+    def test_connected_and_planar_sparse(self):
+        g = delaunay_country(300, seed=0)
+        assert g.is_connected()
+        assert g.m < 3 * g.n  # planar bound
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            delaunay_country(3)
+
+    def test_thinning_reduces_edges(self):
+        dense = delaunay_country(200, seed=1, thinning=0.0)
+        thin = delaunay_country(200, seed=1, thinning=0.4)
+        assert thin.m < dense.m
+
+
+class TestMultiCity:
+    def test_connected(self):
+        g = multi_city(3, 6, 6, seed=0)
+        assert g.is_connected()
+
+    def test_rejects_single_city(self):
+        with pytest.raises(ValueError):
+            multi_city(1)
+
+    def test_bimodal_distances(self):
+        # Inter-city pairs should be much farther than intra-city pairs.
+        from repro.algorithms import dijkstra
+
+        g = multi_city(3, 5, 5, seed=2, spacing=50_000.0)
+        dist = dijkstra(g, 0)
+        intra = dist[1:25]  # city grids are laid out contiguously
+        intra = intra[np.isfinite(intra)]
+        assert dist[np.isfinite(dist)].max() > 10 * np.median(intra)
+
+
+class TestDatasetRegistry:
+    @pytest.mark.parametrize("name", ["BJ-S", "FLA-S", "USW-S"])
+    def test_named_datasets(self, name):
+        g = dataset(name, scale=0.1)
+        assert g.is_connected()
+        assert g.coords is not None
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            dataset("nope")

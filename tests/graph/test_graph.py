@@ -1,0 +1,166 @@
+"""Unit tests for the CSR graph core."""
+
+import numpy as np
+import pytest
+
+from repro.graph import Edge, Graph, GraphError
+
+
+class TestConstruction:
+    def test_basic_counts(self, tiny_graph):
+        assert tiny_graph.n == 13
+        assert tiny_graph.m == 15
+
+    def test_zero_vertices_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(0, [])
+
+    def test_negative_vertex_count_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(-3, [])
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(2, [(0, 2, 1.0)])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(2, [(1, 1, 1.0)])
+
+    def test_zero_weight_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(2, [(0, 1, 0.0)])
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(2, [(0, 1, -2.0)])
+
+    def test_nan_weight_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(2, [(0, 1, float("nan"))])
+
+    def test_inf_weight_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(2, [(0, 1, float("inf"))])
+
+    def test_parallel_edges_collapse_to_min(self):
+        g = Graph(2, [(0, 1, 5.0), (1, 0, 3.0), (0, 1, 7.0)])
+        assert g.m == 1
+        assert g.edge_weight(0, 1) == 3.0
+
+    def test_coords_shape_validated(self):
+        with pytest.raises(GraphError):
+            Graph(3, [(0, 1, 1.0)], coords=np.zeros((2, 2)))
+
+    def test_isolated_vertices_allowed(self):
+        g = Graph(4, [(0, 1, 1.0)])
+        assert g.degree(2) == 0
+        assert g.degree(3) == 0
+
+
+class TestAccessors:
+    def test_neighbors_symmetric(self, tiny_graph):
+        for e in tiny_graph.edges():
+            assert e.v in tiny_graph.neighbors(e.u)
+            assert e.u in tiny_graph.neighbors(e.v)
+
+    def test_neighbor_weights_aligned(self, tiny_graph):
+        nbrs = tiny_graph.neighbors(7)
+        wgts = tiny_graph.neighbor_weights(7)
+        assert len(nbrs) == len(wgts)
+        lookup = dict(zip(nbrs.tolist(), wgts.tolist()))
+        assert lookup[8] == 2.0
+        assert lookup[9] == 4.0
+
+    def test_degree_matches_neighbors(self, tiny_graph):
+        for v in range(tiny_graph.n):
+            assert tiny_graph.degree(v) == len(tiny_graph.neighbors(v))
+
+    def test_degrees_array(self, tiny_graph):
+        degs = tiny_graph.degrees()
+        assert degs.sum() == 2 * tiny_graph.m
+        assert degs[7] == 4  # v8 in the paper's figure has four roads
+
+    def test_edges_iterates_once_per_edge(self, tiny_graph):
+        edges = list(tiny_graph.edges())
+        assert len(edges) == tiny_graph.m
+        assert all(isinstance(e, Edge) for e in edges)
+
+    def test_edge_array_shapes(self, tiny_graph):
+        us, vs, ws = tiny_graph.edge_array()
+        assert len(us) == len(vs) == len(ws) == tiny_graph.m
+        assert (ws > 0).all()
+
+    def test_edge_array_empty_graph(self):
+        g = Graph(3, [])
+        us, vs, ws = g.edge_array()
+        assert us.size == vs.size == ws.size == 0
+
+    def test_has_edge(self, tiny_graph):
+        assert tiny_graph.has_edge(0, 1)
+        assert tiny_graph.has_edge(1, 0)
+        assert not tiny_graph.has_edge(0, 12)
+
+    def test_edge_weight_missing_raises(self, tiny_graph):
+        with pytest.raises(KeyError):
+            tiny_graph.edge_weight(0, 12)
+
+    def test_total_weight(self, line_graph):
+        assert line_graph.total_weight() == pytest.approx(4.0)
+
+
+class TestConversions:
+    def test_csr_matrix_symmetric(self, tiny_graph):
+        m = tiny_graph.to_csr_matrix()
+        assert (m != m.T).nnz == 0
+
+    def test_csr_matrix_weights(self, tiny_graph):
+        m = tiny_graph.to_csr_matrix()
+        assert m[0, 1] == 3.0
+        assert m[1, 0] == 3.0
+
+    def test_networkx_roundtrip(self, tiny_graph):
+        nx_g = tiny_graph.to_networkx()
+        back = Graph.from_networkx(nx_g)
+        assert back.n == tiny_graph.n
+        assert back.m == tiny_graph.m
+        assert back.edge_weight(0, 2) == tiny_graph.edge_weight(0, 2)
+        np.testing.assert_allclose(back.coords, tiny_graph.coords)
+
+    def test_subgraph_relabels(self, tiny_graph):
+        sub, mapping = tiny_graph.subgraph([0, 1, 2, 3])
+        assert sub.n == 4
+        # Edges among {0,1,2,3}: (0,1), (0,2), (1,3), (2,3).
+        assert sub.m == 4
+        np.testing.assert_array_equal(mapping, [0, 1, 2, 3])
+
+    def test_subgraph_keeps_coords(self, tiny_graph):
+        sub, mapping = tiny_graph.subgraph([5, 7, 9])
+        np.testing.assert_allclose(sub.coords, tiny_graph.coords[[5, 7, 9]])
+
+    def test_subgraph_duplicate_rejected(self, tiny_graph):
+        with pytest.raises(GraphError):
+            tiny_graph.subgraph([1, 1])
+
+    def test_subgraph_empty_rejected(self, tiny_graph):
+        with pytest.raises(GraphError):
+            tiny_graph.subgraph([])
+
+
+class TestStructure:
+    def test_connected(self, tiny_graph):
+        assert tiny_graph.is_connected()
+
+    def test_disconnected_components(self):
+        g = Graph(4, [(0, 1, 1.0), (2, 3, 1.0)])
+        labels = g.connected_components()
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]
+        assert not g.is_connected()
+
+    def test_largest_component(self):
+        g = Graph(5, [(0, 1, 1.0), (1, 2, 1.0), (3, 4, 1.0)])
+        sub, mapping = g.largest_component()
+        assert sub.n == 3
+        np.testing.assert_array_equal(mapping, [0, 1, 2])

@@ -1,0 +1,107 @@
+"""Tests for DIMACS / edge-list / embedding serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph, GraphError
+from repro.graph.io import (
+    load_dimacs,
+    load_edge_list,
+    load_embedding,
+    save_dimacs,
+    save_edge_list,
+    save_embedding,
+)
+
+
+class TestDimacs:
+    def test_roundtrip(self, tiny_graph, tmp_path):
+        gr = tmp_path / "g.gr"
+        co = tmp_path / "g.co"
+        save_dimacs(tiny_graph, gr, co)
+        back = load_dimacs(gr, co)
+        assert back.n == tiny_graph.n
+        assert back.m == tiny_graph.m
+        np.testing.assert_allclose(back.coords, tiny_graph.coords, atol=1e-5)
+        for e in tiny_graph.edges():
+            assert back.edge_weight(e.u, e.v) == pytest.approx(e.weight, abs=1e-5)
+
+    def test_roundtrip_without_coords(self, tiny_graph, tmp_path):
+        gr = tmp_path / "g.gr"
+        save_dimacs(tiny_graph, gr)
+        back = load_dimacs(gr)
+        assert back.coords is None
+        assert back.m == tiny_graph.m
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "g.gr"
+        path.write_text("c comment\n\np sp 2 2\na 1 2 5.0\na 2 1 5.0\n")
+        g = load_dimacs(path)
+        assert g.n == 2
+        assert g.edge_weight(0, 1) == 5.0
+
+    def test_missing_problem_line(self, tmp_path):
+        path = tmp_path / "g.gr"
+        path.write_text("a 1 2 5.0\n")
+        with pytest.raises(GraphError):
+            load_dimacs(path)
+
+    def test_bad_arc_line(self, tmp_path):
+        path = tmp_path / "g.gr"
+        path.write_text("p sp 2 1\na 1 2\n")
+        with pytest.raises(GraphError):
+            load_dimacs(path)
+
+    def test_unknown_line_tag(self, tmp_path):
+        path = tmp_path / "g.gr"
+        path.write_text("p sp 2 1\nx 1 2 3\n")
+        with pytest.raises(GraphError):
+            load_dimacs(path)
+
+    def test_save_coords_requires_coords(self, tmp_path):
+        g = Graph(2, [(0, 1, 1.0)])
+        with pytest.raises(GraphError):
+            save_dimacs(g, tmp_path / "g.gr", tmp_path / "g.co")
+
+
+class TestEdgeList:
+    def test_roundtrip(self, tiny_graph, tmp_path):
+        path = tmp_path / "edges.txt"
+        save_edge_list(tiny_graph, path)
+        back = load_edge_list(path)
+        assert back.n == tiny_graph.n
+        assert back.m == tiny_graph.m
+
+    def test_explicit_n(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("0 1 2.5\n")
+        g = load_edge_list(path, n=5)
+        assert g.n == 5
+
+    def test_comments_skipped(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("# header\n0 1 2.5\n\n1 2 1.5\n")
+        g = load_edge_list(path)
+        assert g.m == 2
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("0 1\n")
+        with pytest.raises(GraphError):
+            load_edge_list(path)
+
+
+class TestEmbeddingIO:
+    def test_roundtrip(self, tmp_path):
+        matrix = np.random.default_rng(0).normal(size=(10, 4))
+        path = tmp_path / "emb.npz"
+        save_embedding(path, matrix, p=1.0)
+        back, p = load_embedding(path)
+        np.testing.assert_allclose(back, matrix)
+        assert p == 1.0
+
+    def test_p_persisted(self, tmp_path):
+        path = tmp_path / "emb.npz"
+        save_embedding(path, np.ones((2, 2)), p=2.0)
+        _, p = load_embedding(path)
+        assert p == 2.0

@@ -1,0 +1,87 @@
+"""Tests for coordinate-to-vertex snapping."""
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph, VertexLocator
+
+
+class TestLocator:
+    def test_requires_coords(self):
+        with pytest.raises(ValueError):
+            VertexLocator(Graph(2, [(0, 1, 1.0)]))
+
+    def test_exact_position(self, small_grid):
+        loc = VertexLocator(small_grid)
+        for v in (0, 7, 33):
+            x, y = small_grid.coords[v]
+            assert loc.locate(float(x), float(y)) == v
+
+    def test_nearest_vertex(self, line_graph):
+        loc = VertexLocator(line_graph)
+        assert loc.locate(1.4, 0.2) == 1
+        assert loc.locate(3.6, -0.1) == 4
+
+    def test_locate_many_matches_scalar(self, small_grid, rng):
+        loc = VertexLocator(small_grid)
+        points = rng.uniform(
+            small_grid.coords.min(), small_grid.coords.max(), size=(20, 2)
+        )
+        batch = loc.locate_many(points)
+        singles = [loc.locate(float(x), float(y)) for x, y in points]
+        np.testing.assert_array_equal(batch, singles)
+
+    def test_locate_many_bad_shape(self, small_grid):
+        loc = VertexLocator(small_grid)
+        with pytest.raises(ValueError):
+            loc.locate_many(np.zeros(3))
+
+    def test_snap_error(self, line_graph):
+        loc = VertexLocator(line_graph)
+        assert loc.snap_error(2.0, 0.0) == pytest.approx(0.0)
+        assert loc.snap_error(2.0, 1.0) == pytest.approx(1.0)
+
+
+class TestTravelTimes:
+    def test_weights_are_times(self, small_grid):
+        from repro.graph import with_travel_times
+
+        timed = with_travel_times(
+            small_grid, arterial_fraction=0.0, local_speed=30.0, seed=0
+        )
+        for before, after in zip(small_grid.edges(), timed.edges()):
+            assert after.weight == pytest.approx(before.weight / 30.0)
+
+    def test_arterials_faster(self, small_grid):
+        from repro.graph import with_travel_times
+
+        timed = with_travel_times(
+            small_grid, arterial_fraction=0.5, arterial_speed=60.0,
+            local_speed=30.0, seed=0,
+        )
+        ratios = [
+            after.weight / before.weight
+            for before, after in zip(small_grid.edges(), timed.edges())
+        ]
+        assert min(ratios) == pytest.approx(1 / 60)
+        assert max(ratios) == pytest.approx(1 / 30)
+
+    def test_invalid_fraction(self, small_grid):
+        from repro.graph import with_travel_times
+
+        with pytest.raises(ValueError):
+            with_travel_times(small_grid, arterial_fraction=1.5)
+
+    def test_invalid_speed(self, small_grid):
+        from repro.graph import with_travel_times
+
+        with pytest.raises(ValueError):
+            with_travel_times(small_grid, local_speed=0.0)
+
+    def test_preserves_structure(self, small_grid):
+        from repro.graph import with_travel_times
+
+        timed = with_travel_times(small_grid, seed=0)
+        assert timed.n == small_grid.n
+        assert timed.m == small_grid.m
+        np.testing.assert_allclose(timed.coords, small_grid.coords)

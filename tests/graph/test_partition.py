@@ -1,0 +1,85 @@
+"""Tests for the multilevel partitioner."""
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph, balance, bisect, cut_weight, grid_city, partition_kway
+
+
+class TestBisect:
+    def test_two_sides_present(self, small_grid):
+        side = bisect(small_grid, seed=0)
+        assert set(np.unique(side)) == {0, 1}
+
+    def test_roughly_balanced(self, small_grid):
+        side = bisect(small_grid, seed=0)
+        frac = side.mean()
+        assert 0.3 <= frac <= 0.7
+
+    def test_target_frac_respected(self):
+        g = grid_city(12, 12, seed=1)
+        side = bisect(g, target_frac=0.25, seed=0)
+        frac0 = (side == 0).mean()
+        assert 0.13 <= frac0 <= 0.38
+
+    def test_single_vertex(self):
+        g = Graph(1, [])
+        side = bisect(g)
+        assert side.tolist() == [0]
+
+    def test_cut_is_small_on_grid(self):
+        # A 12x12 grid has a ~12-edge minimum bisection; the multilevel
+        # partitioner should land within a small factor of it.
+        g = grid_city(12, 12, seed=5, removal=0.0, diagonal=0.0, jitter=0.0,
+                      weight_noise=0.0)
+        side = bisect(g, seed=0)
+        us, vs, _ = g.edge_array()
+        cut_edges = int((side[us] != side[vs]).sum())
+        assert cut_edges <= 40
+
+    def test_deterministic(self, small_grid):
+        a = bisect(small_grid, seed=3)
+        b = bisect(small_grid, seed=3)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestKway:
+    @pytest.mark.parametrize("k", [2, 3, 4, 7])
+    def test_all_parts_nonempty(self, small_grid, k):
+        labels = partition_kway(small_grid, k, seed=0)
+        assert set(np.unique(labels)) == set(range(k))
+
+    def test_k1_trivial(self, small_grid):
+        labels = partition_kway(small_grid, 1)
+        assert (labels == 0).all()
+
+    def test_k_invalid(self, small_grid):
+        with pytest.raises(ValueError):
+            partition_kway(small_grid, 0)
+
+    def test_balance_reasonable(self):
+        g = grid_city(16, 16, seed=2)
+        labels = partition_kway(g, 4, seed=0)
+        assert balance(labels, 4) <= 1.5
+
+    def test_k_exceeding_n(self):
+        g = Graph(3, [(0, 1, 1.0), (1, 2, 1.0)])
+        labels = partition_kway(g, 3, seed=0)
+        assert set(np.unique(labels)) == {0, 1, 2}
+
+    def test_cut_weight_matches_manual(self):
+        g = Graph(4, [(0, 1, 1.0), (1, 2, 5.0), (2, 3, 1.0)])
+        labels = np.array([0, 0, 1, 1])
+        assert cut_weight(g, labels) == pytest.approx(5.0)
+
+    def test_partition_beats_random_cut(self):
+        g = grid_city(14, 14, seed=9)
+        rng = np.random.default_rng(1)
+        smart = cut_weight(g, partition_kway(g, 4, seed=0))
+        random_cut = cut_weight(g, rng.integers(4, size=g.n))
+        assert smart < 0.5 * random_cut
+
+    def test_disconnected_graph_handled(self):
+        g = Graph(6, [(0, 1, 1.0), (1, 2, 1.0), (3, 4, 1.0), (4, 5, 1.0)])
+        labels = partition_kway(g, 2, seed=0)
+        assert set(np.unique(labels)) == {0, 1}

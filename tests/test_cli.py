@@ -1,0 +1,29 @@
+"""Tests for the experiment CLI."""
+
+import pytest
+
+from repro.cli import main
+from repro.bench.experiments import EXPERIMENTS
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["nope"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
+
+    def test_requires_argument(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    @pytest.mark.slow
+    def test_fig9_fast_runs(self, capsys):
+        assert main(["fig9", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 9" in out

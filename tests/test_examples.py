@@ -1,0 +1,43 @@
+"""Smoke checks for the example scripts.
+
+Full example runs take tens of seconds (they train models), so the default
+suite only verifies each script parses and exposes a ``main``; the marked
+slow test executes the quickstart end to end.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+def _load(path: pathlib.Path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[path.stem] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_examples_exist(self):
+        names = {p.stem for p in EXAMPLES}
+        assert {"quickstart", "ride_hailing", "poi_search"} <= names
+        assert len(EXAMPLES) >= 3
+
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+    def test_example_imports_and_has_main(self, path):
+        module = _load(path)
+        assert callable(getattr(module, "main", None))
+
+    @pytest.mark.slow
+    def test_quickstart_runs(self, capsys):
+        module = _load(EXAMPLES[[p.stem for p in EXAMPLES].index("quickstart")])
+        module.main()
+        out = capsys.readouterr().out
+        assert "mean relative error" in out

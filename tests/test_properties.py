@@ -1,0 +1,222 @@
+"""Property-based tests (hypothesis) on core data structures and invariants.
+
+Each property encodes something the paper's correctness rests on: metric
+axioms of the Lp representation, exactness of the search substrates, and
+structural invariants of partitioning and hierarchies — over *arbitrary*
+generated graphs, not just the fixtures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import (
+    ContractionHierarchy,
+    HubLabels,
+    LTEstimator,
+    bidirectional_dijkstra,
+    dijkstra,
+    pair_distances,
+)
+from repro.core import RNEModel, lp_distance
+from repro.graph import Graph, PartitionHierarchy, partition_kway
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def connected_graphs(draw, max_n: int = 24):
+    """Random connected weighted graph: a random tree plus extra edges."""
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    edges: dict[tuple[int, int], float] = {}
+    for v in range(1, n):
+        parent = draw(st.integers(min_value=0, max_value=v - 1))
+        w = draw(st.floats(min_value=0.1, max_value=100.0, allow_nan=False))
+        edges[(parent, v)] = w
+    extra = draw(st.integers(min_value=0, max_value=n))
+    for _ in range(extra):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u == v:
+            continue
+        key = (min(u, v), max(u, v))
+        w = draw(st.floats(min_value=0.1, max_value=100.0, allow_nan=False))
+        edges.setdefault(key, w)
+    return Graph(n, [(u, v, w) for (u, v), w in edges.items()])
+
+
+@st.composite
+def vertex_pair(draw, graph: Graph):
+    s = draw(st.integers(min_value=0, max_value=graph.n - 1))
+    t = draw(st.integers(min_value=0, max_value=graph.n - 1))
+    return s, t
+
+
+slow_settings = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+# ----------------------------------------------------------------------
+# Lp metric axioms (Sec. III-C of the paper)
+# ----------------------------------------------------------------------
+class TestLpMetricAxioms:
+    @given(
+        st.lists(
+            st.floats(-50, 50, allow_nan=False), min_size=2, max_size=8
+        ),
+        st.lists(
+            st.floats(-50, 50, allow_nan=False), min_size=2, max_size=8
+        ),
+        st.sampled_from([1.0, 2.0, 3.0]),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_symmetry_and_nonnegativity(self, xs, ys, p):
+        k = min(len(xs), len(ys))
+        a = np.array(xs[:k])
+        b = np.array(ys[:k])
+        d_ab = lp_distance(a - b, p)
+        d_ba = lp_distance(b - a, p)
+        assert d_ab >= 0
+        assert d_ab == pytest.approx(d_ba)
+
+    @given(
+        st.lists(st.floats(-20, 20, allow_nan=False), min_size=3, max_size=3),
+        st.lists(st.floats(-20, 20, allow_nan=False), min_size=3, max_size=3),
+        st.lists(st.floats(-20, 20, allow_nan=False), min_size=3, max_size=3),
+        st.sampled_from([1.0, 2.0]),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_triangle_inequality(self, xs, ys, zs, p):
+        a, b, c = np.array(xs), np.array(ys), np.array(zs)
+        assert lp_distance(a - c, p) <= (
+            lp_distance(a - b, p) + lp_distance(b - c, p) + 1e-9
+        )
+
+    @given(st.integers(2, 30), st.integers(1, 8), st.integers(0, 10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_model_identity(self, n, d, seed):
+        model = RNEModel.random(n, d, seed=seed)
+        v = seed % n
+        assert model.query(v, v) == 0.0
+
+
+# ----------------------------------------------------------------------
+# Search substrate exactness on arbitrary graphs
+# ----------------------------------------------------------------------
+class TestSearchExactness:
+    @given(connected_graphs())
+    @slow_settings
+    def test_bidirectional_matches_dijkstra(self, graph):
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            s, t = rng.integers(graph.n, size=2)
+            assert bidirectional_dijkstra(graph, int(s), int(t)) == pytest.approx(
+                float(dijkstra(graph, int(s), int(t))), rel=1e-9
+            )
+
+    @given(connected_graphs())
+    @slow_settings
+    def test_ch_exact(self, graph):
+        ch = ContractionHierarchy(graph, seed=0)
+        rng = np.random.default_rng(1)
+        for _ in range(5):
+            s, t = rng.integers(graph.n, size=2)
+            assert ch.query(int(s), int(t)) == pytest.approx(
+                float(dijkstra(graph, int(s), int(t))), rel=1e-9
+            )
+
+    @given(connected_graphs())
+    @slow_settings
+    def test_h2h_exact(self, graph):
+        from repro.algorithms import H2HIndex
+
+        h2h = H2HIndex(graph)
+        rng = np.random.default_rng(7)
+        for _ in range(5):
+            s, t = rng.integers(graph.n, size=2)
+            assert h2h.query(int(s), int(t)) == pytest.approx(
+                float(dijkstra(graph, int(s), int(t))), rel=1e-9
+            )
+
+    @given(connected_graphs(), st.integers(3, 8))
+    @slow_settings
+    def test_gtree_exact(self, graph, leaf_size):
+        from repro.baselines import GTree
+
+        gt = GTree(graph, fanout=2, leaf_size=leaf_size, seed=0)
+        rng = np.random.default_rng(8)
+        for _ in range(5):
+            s, t = rng.integers(graph.n, size=2)
+            assert gt.query(int(s), int(t)) == pytest.approx(
+                float(dijkstra(graph, int(s), int(t))), rel=1e-9
+            )
+
+    @given(connected_graphs())
+    @slow_settings
+    def test_hub_labels_exact(self, graph):
+        hl = HubLabels(graph, seed=0)
+        rng = np.random.default_rng(2)
+        for _ in range(5):
+            s, t = rng.integers(graph.n, size=2)
+            assert hl.query(int(s), int(t)) == pytest.approx(
+                float(dijkstra(graph, int(s), int(t))), rel=1e-9
+            )
+
+    @given(connected_graphs())
+    @slow_settings
+    def test_lt_is_lower_bound(self, graph):
+        k = min(4, graph.n)
+        lt = LTEstimator(graph, k, strategy="random", seed=0)
+        rng = np.random.default_rng(3)
+        pairs = rng.integers(graph.n, size=(8, 2))
+        truth = pair_distances(graph, pairs)
+        est = lt.estimate_pairs(pairs)
+        assert (est <= truth + 1e-6).all()
+
+    @given(connected_graphs())
+    @slow_settings
+    def test_true_distance_symmetry(self, graph):
+        rng = np.random.default_rng(4)
+        s, t = (int(x) for x in rng.integers(graph.n, size=2))
+        assert float(dijkstra(graph, s, t)) == pytest.approx(
+            float(dijkstra(graph, t, s)), rel=1e-9
+        )
+
+
+# ----------------------------------------------------------------------
+# Partitioning / hierarchy invariants
+# ----------------------------------------------------------------------
+class TestPartitionInvariants:
+    @given(connected_graphs(), st.integers(2, 5))
+    @slow_settings
+    def test_kway_is_partition(self, graph, k):
+        k = min(k, graph.n)
+        labels = partition_kway(graph, k, seed=0)
+        assert labels.shape == (graph.n,)
+        assert labels.min() >= 0
+        assert labels.max() < k
+
+    @given(connected_graphs(), st.integers(2, 4), st.integers(2, 8))
+    @slow_settings
+    def test_hierarchy_invariants(self, graph, fanout, leaf_size):
+        h = PartitionHierarchy(
+            graph, fanout=fanout, leaf_size=leaf_size, seed=0
+        )
+        h.validate()  # asserts coverage / nesting / vertex-level identity
+
+    @given(connected_graphs())
+    @slow_settings
+    def test_ancestor_rows_in_range(self, graph):
+        h = PartitionHierarchy(graph, fanout=3, leaf_size=4, seed=0)
+        for level in range(h.num_levels):
+            rows = h.anc_rows[:, level]
+            assert rows.min() >= 0
+            assert rows.max() < h.level_size(level)
