@@ -31,7 +31,7 @@ def dijkstra(graph: Graph, source: int, target: int | None = None) -> np.ndarray
     unreachable) and stops as soon as the target is settled; otherwise
     returns the full distance array.
     """
-    dist = np.full(graph.n, INF)
+    dist = np.full(graph.n, INF, dtype=np.float64)
     dist[source] = 0.0
     heap: list[tuple[float, int]] = [(0.0, source)]
     settled = np.zeros(graph.n, dtype=bool)
@@ -59,7 +59,7 @@ def dijkstra_path(graph: Graph, source: int, target: int) -> tuple[float, list[i
 
     Returns ``(inf, [])`` when the target is unreachable.
     """
-    dist = np.full(graph.n, INF)
+    dist = np.full(graph.n, INF, dtype=np.float64)
     parent = np.full(graph.n, -1, dtype=np.int64)
     dist[source] = 0.0
     heap: list[tuple[float, int]] = [(0.0, source)]
@@ -143,7 +143,7 @@ def sssp_many(graph: Graph, sources: np.ndarray | list[int]) -> np.ndarray:
     """
     sources = np.asarray(sources, dtype=np.int64)
     if sources.size == 0:
-        return np.empty((0, graph.n))
+        return np.empty((0, graph.n), dtype=np.float64)
     return csgraph.dijkstra(
         graph.to_csr_matrix(), directed=False, indices=sources
     )
@@ -157,11 +157,9 @@ def pair_distances(graph: Graph, pairs: np.ndarray) -> np.ndarray:
     pairs = np.asarray(pairs, dtype=np.int64)
     if pairs.ndim != 2 or pairs.shape[1] != 2:
         raise ValueError(f"pairs must have shape (k, 2), got {pairs.shape}")
-    out = np.empty(len(pairs))
     unique_sources, inverse = np.unique(pairs[:, 0], return_inverse=True)
     dists = sssp_many(graph, unique_sources)
-    out = dists[inverse, pairs[:, 1]]
-    return out
+    return dists[inverse, pairs[:, 1]]
 
 
 def eccentricity(graph: Graph, source: int) -> float:

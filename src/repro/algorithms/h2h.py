@@ -50,11 +50,11 @@ class H2HIndex:
         self._order = np.empty(n, dtype=np.int64)  # elimination rank
         self.parent = np.full(n, -1, dtype=np.int64)
         self._bags: list[np.ndarray] = [np.empty(0, dtype=np.int64)] * n
-        self._bag_weights: list[np.ndarray] = [np.empty(0)] * n
+        self._bag_weights: list[np.ndarray] = [np.empty(0, dtype=np.float64)] * n
         self._eliminate()
         self.depth = np.zeros(n, dtype=np.int64)
         self._root_of = np.empty(n, dtype=np.int64)
-        self._anc_dist: list[np.ndarray] = [np.empty(0)] * n
+        self._anc_dist: list[np.ndarray] = [np.empty(0, dtype=np.float64)] * n
         self._bag_depths: list[np.ndarray] = [np.empty(0, dtype=np.int64)] * n
         self._build_labels()
 
@@ -109,33 +109,42 @@ class H2HIndex:
         """Root-down dynamic program over the elimination tree."""
         n = self.graph.n
         topdown = np.argsort(-self._order)  # roots (last eliminated) first
+        chain: list[np.ndarray] = [np.empty(0, dtype=np.int64)] * n
         for v in topdown:
             v = int(v)
             p = int(self.parent[v])
             if p == -1:
                 self.depth[v] = 0
                 self._root_of[v] = v
-                self._anc_dist[v] = np.zeros(1)
+                self._anc_dist[v] = np.zeros(1, dtype=np.float64)
                 self._bag_depths[v] = np.empty(0, dtype=np.int64)
+                chain[v] = np.array([v], dtype=np.int64)
                 continue
             self.depth[v] = self.depth[p] + 1
             self._root_of[v] = self._root_of[p]
+            chain[v] = np.append(chain[p], np.int64(v))
             bag = self._bags[v]
             wgt = self._bag_weights[v]
             bag_depths = self.depth[bag]
             self._bag_depths[v] = bag_depths
 
             k = int(self.depth[v]) + 1
-            dist = np.full(k, INF)
+            dist = np.full(k, INF, dtype=np.float64)
             dist[-1] = 0.0
             # d(v, a) at ancestor depth j: min over up-neighbours u of
-            # w'(v,u) + d(u, a).  d(u, a) is u's label at depth j when
-            # j <= depth(u); when a == u it is 0 (handled by the label's
-            # own final entry).
+            # w'(v,u) + d(u, a) (Ouyang et al.'s two-sided recurrence).
+            # When j <= depth(u), d(u, a) is u's label at depth j (a == u
+            # handled by the label's own final 0 entry).  When a lies
+            # strictly *below* u on the chain, u's label does not cover
+            # it, but a's label covers u: d(u, a) = d(a, u) at depth(u).
             for u, w in zip(bag, wgt):
                 lab_u = self._anc_dist[int(u)]
                 m = lab_u.size
                 np.minimum(dist[:m], w + lab_u, out=dist[:m])
+                for j in range(m, k - 1):  # perf: loop-ok (bounded by treewidth * height)
+                    cand = w + self._anc_dist[int(chain[v][j])][m - 1]
+                    if cand < dist[j]:
+                        dist[j] = cand
             self._anc_dist[v] = dist
 
     # ------------------------------------------------------------------

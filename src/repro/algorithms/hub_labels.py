@@ -60,7 +60,7 @@ class HubLabels:
         for v in order:
             pending[v] = (v, ch.search_space(int(v)))
         self._hubs = [np.empty(0, dtype=np.int64)] * graph.n
-        self._dists = [np.empty(0)] * graph.n
+        self._dists = [np.empty(0, dtype=np.float64)] * graph.n
         for v in order:
             v = int(v)
             space = pending[v][1]

@@ -20,7 +20,7 @@ def knn_true(graph: Graph, source: int, targets: np.ndarray, k: int) -> np.ndarr
         raise ValueError(f"k must be >= 1, got {k}")
     is_target = np.zeros(graph.n, dtype=bool)
     is_target[np.asarray(targets, dtype=np.int64)] = True
-    dist = np.full(graph.n, np.inf)
+    dist = np.full(graph.n, np.inf, dtype=np.float64)
     dist[source] = 0.0
     heap: list[tuple[float, int]] = [(0.0, source)]
     settled = np.zeros(graph.n, dtype=bool)
@@ -48,7 +48,7 @@ def range_true(
         raise ValueError(f"tau must be >= 0, got {tau}")
     is_target = np.zeros(graph.n, dtype=bool)
     is_target[np.asarray(targets, dtype=np.int64)] = True
-    dist = np.full(graph.n, np.inf)
+    dist = np.full(graph.n, np.inf, dtype=np.float64)
     dist[source] = 0.0
     heap: list[tuple[float, int]] = [(0.0, source)]
     settled = np.zeros(graph.n, dtype=bool)

@@ -94,7 +94,7 @@ class DeepWalk:
 
         bound = 0.5 / self.d
         self.w_in = rng.uniform(-bound, bound, size=(graph.n, self.d))
-        self.w_out = np.zeros((graph.n, self.d))
+        self.w_out = np.zeros((graph.n, self.d), dtype=np.float64)
         self._train(pairs, negatives, epochs, lr, rng)
 
     @staticmethod

@@ -97,7 +97,7 @@ class GTree:
             mat = (
                 sssp_many(sub, local_borders)
                 if local_borders.size
-                else np.empty((0, sub.n))
+                else np.empty((0, sub.n), dtype=np.float64)
             )
             self._leaf_graphs[node_id] = sub
             self._leaf_pos[node_id] = pos
@@ -113,7 +113,7 @@ class GTree:
         if node.level == self._leaf_level:
             pos = self._leaf_pos[node_id]
             cols = np.array([pos[int(b)] for b in borders], dtype=np.int64)
-            mat = self._leaf_mat[node_id][:, cols] if borders.size else np.empty((0, 0))
+            mat = self._leaf_mat[node_id][:, cols] if borders.size else np.empty((0, 0), dtype=np.float64)
             return borders, mat
         u = self._U[node_id]
         upos = self._U_pos[node_id]
@@ -157,7 +157,7 @@ class GTree:
             self._U[node_id] = cand_arr
             self._U_pos[node_id] = pos
             if k == 0:
-                self._D[node_id] = np.empty((0, 0))
+                self._D[node_id] = np.empty((0, 0), dtype=np.float64)
                 continue
 
             # Super graph on the candidates: children's border matrices
@@ -186,7 +186,7 @@ class GTree:
                 super_graph = Graph(k, edges)
                 self._D[node_id] = sssp_many(super_graph, np.arange(k))
             else:
-                d = np.full((k, k), INF)
+                d = np.full((k, k), INF, dtype=np.float64)
                 np.fill_diagonal(d, 0.0)
                 self._D[node_id] = d
 
@@ -255,7 +255,7 @@ class GTree:
         """Project a candidate vector onto ``node_id``'s own borders."""
         if ids.size == 0:
             borders = self._borders[node_id]
-            return borders, np.full(borders.size, INF)
+            return borders, np.full(borders.size, INF, dtype=np.float64)
         u, ext = self._extend(node_id, ids, vec)
         borders = self._borders[node_id]
         pos = self._U_pos[node_id]

@@ -38,7 +38,7 @@ class MLPRegressor:
         for fan_in, fan_out in zip(dims[:-1], dims[1:]):
             std = np.sqrt(2.0 / fan_in)
             self.weights.append(rng.normal(scale=std, size=(fan_in, fan_out)))
-            self.biases.append(np.zeros(fan_out))
+            self.biases.append(np.zeros(fan_out, dtype=np.float64))
         self._adam_m = [np.zeros_like(w) for w in self.weights + self.biases]
         self._adam_v = [np.zeros_like(w) for w in self.weights + self.biases]
         self._adam_t = 0
@@ -104,8 +104,8 @@ class MLPRegressor:
         resid = out - y
         loss = float(np.mean(np.square(resid)))
 
-        grads_w: list[np.ndarray] = [np.empty(0)] * len(self.weights)
-        grads_b: list[np.ndarray] = [np.empty(0)] * len(self.biases)
+        grads_w: list[np.ndarray] = [np.empty(0, dtype=np.float64)] * len(self.weights)
+        grads_b: list[np.ndarray] = [np.empty(0, dtype=np.float64)] * len(self.biases)
         delta = (2.0 * resid / len(x))[:, None]  # dL/d(last pre-activation)
         for i in range(len(self.weights) - 1, -1, -1):
             grads_w[i] = acts[i].T @ delta

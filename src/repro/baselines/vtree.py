@@ -80,7 +80,7 @@ class GTreeIndex:
             if local_borders.size:
                 self.leafmats.append(sssp_many(sub, local_borders))
             else:
-                self.leafmats.append(np.empty((0, sub.n)))
+                self.leafmats.append(np.empty((0, sub.n), dtype=np.float64))
 
     # ------------------------------------------------------------------
     # assembly helpers
@@ -96,7 +96,7 @@ class GTreeIndex:
         """Exact distances from ``v`` to every border of the graph."""
         borders, leaf_d = self._to_own_borders(v)
         if borders.size == 0:
-            return np.full(self.all_borders.size, INF)
+            return np.full(self.all_borders.size, INF, dtype=np.float64)
         rows = np.array([self._border_pos[int(b)] for b in borders])
         # d(v, b) = min over own borders b1 of dleaf(v, b1) + b2b(b1, b)
         return np.min(leaf_d[:, None] + self.b2b[rows], axis=0)
@@ -133,7 +133,7 @@ class GTreeIndex:
         given the source's global border distances."""
         borders = self.borders_of[cell]
         if borders.size == 0:
-            return np.full(targets.size, INF)
+            return np.full(targets.size, INF, dtype=np.float64)
         rows = np.array([self._border_pos[int(b)] for b in borders])
         cols = self._pos_in_cell[targets]
         return np.min(glob_s[rows][:, None] + self.leafmats[cell][:, cols], axis=0)

@@ -106,6 +106,7 @@ def scaling_experiment(
     sides: tuple[int, ...] = (12, 20, 32),
     oracle_pair_budget: int = 400_000,
     fast: bool = False,
+    seed: int = 0,
 ) -> dict:
     """RNE error/build/query vs |V|; the oracle's construction wall.
 
@@ -122,7 +123,7 @@ def scaling_experiment(
         start = time.perf_counter()
         rne = build_rne(graph, config)
         build_s = time.perf_counter() - start
-        rng = np.random.default_rng(0)
+        rng = np.random.default_rng(seed)
         pairs = rng.integers(graph.n, size=(2000, 2))
         start = time.perf_counter()
         rne.query_pairs(pairs)

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..devtools.contracts import shapes
 from .hierarchical import HierarchicalRNE
 from .metrics import bucketed_errors
 from .model import RNEModel
@@ -61,7 +62,7 @@ class _ModelAdapter:
             self._adam = None
             self._schedule = None
 
-    def train(self, pairs: np.ndarray, phi: np.ndarray, rng: np.random.Generator):
+    def train(self, pairs: np.ndarray, phi: np.ndarray, rng: np.random.Generator) -> None:
         if isinstance(self.model, HierarchicalRNE):
             train_hierarchical(
                 self.model, pairs, phi, self._schedule, self.config, rng,
@@ -85,6 +86,7 @@ class _ModelAdapter:
             self.model.matrix = snap
 
 
+@shapes(val_pairs="(k,2):int", val_phi="(k,):float:finite")
 def active_finetune(
     model: HierarchicalRNE | RNEModel,
     buckets: GridBuckets,

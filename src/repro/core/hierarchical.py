@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..devtools.contracts import shapes
 from ..graph import PartitionHierarchy
 from .model import RNEModel, lp_distance
 
@@ -71,11 +72,12 @@ class HierarchicalRNE:
     # ------------------------------------------------------------------
     # assembly
     # ------------------------------------------------------------------
+    @shapes(vertices="(k,):int", ret="(k,d):float")
     def global_vectors(self, vertices: np.ndarray) -> np.ndarray:
         """Global embeddings for an array of vertex ids (ancestor sums)."""
         vertices = np.asarray(vertices, dtype=np.int64)
         rows = self.hierarchy.anc_rows[vertices]
-        out = np.zeros((vertices.size, self.d))
+        out = np.zeros((vertices.size, self.d), dtype=np.float64)
         for level, matrix in enumerate(self.locals):
             out += matrix[rows[:, level]]
         return out
@@ -90,7 +92,7 @@ class HierarchicalRNE:
         Sum of the node's own local embedding and its ancestors' — used by
         the tree-structured query index (Sec. VI).
         """
-        vec = np.zeros(self.d)
+        vec = np.zeros(self.d, dtype=np.float64)
         cursor: int | None = node_id
         while cursor is not None:
             node = self.hierarchy.nodes[cursor]
@@ -105,6 +107,7 @@ class HierarchicalRNE:
         vecs = self.global_vectors(np.array([s, t]))
         return float(lp_distance(vecs[0] - vecs[1], self.p))
 
+    @shapes(pairs="(k,2):int", ret="(k,):float")
     def query_pairs(self, pairs: np.ndarray) -> np.ndarray:
         pairs = np.asarray(pairs, dtype=np.int64)
         vs = self.global_vectors(pairs[:, 0])

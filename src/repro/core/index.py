@@ -21,6 +21,7 @@ import heapq
 
 import numpy as np
 
+from ..devtools.contracts import shapes
 from ..graph import PartitionHierarchy
 from .model import lp_distance
 
@@ -58,6 +59,7 @@ class EmbeddingTreeIndex:
         self._leaf_level = hierarchy.num_subgraph_levels - 1
         self._centres: dict[int, np.ndarray] = {}
         self._radii: dict[int, float] = {}
+        # perf: loop-ok (index build is O(#tree nodes), not O(n) per query)
         for node in hierarchy.nodes:
             if node.level > self._leaf_level:
                 continue
@@ -81,6 +83,7 @@ class EmbeddingTreeIndex:
         return self.hierarchy.nodes[node_id].children
 
     # ------------------------------------------------------------------
+    @shapes(targets="(k,):int")
     def range_query(
         self,
         source: int,
@@ -113,6 +116,7 @@ class EmbeddingTreeIndex:
                 stack.extend(self._child_cells(node_id))
         return np.array(sorted(out), dtype=np.int64)
 
+    @shapes(targets="(m,):int")
     def knn_query(self, source: int, targets: np.ndarray, k: int) -> np.ndarray:
         """k nearest targets to ``source`` by embedding distance.
 
@@ -143,6 +147,7 @@ class EmbeddingTreeIndex:
                 members = node.vertices[mask[node.vertices]]
                 if members.size:
                     dists = lp_distance(self.matrix[members] - q, self.p)
+                    # perf: loop-ok (bounded by leaf size, feeds the heap)
                     for v, d in zip(members, dists):
                         heapq.heappush(heap, (float(d), counter, VERTEX, int(v)))
                         counter += 1

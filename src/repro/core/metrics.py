@@ -75,8 +75,8 @@ def bucketed_errors(
     pred = np.asarray(pred, dtype=float)
     truth = np.asarray(truth, dtype=float)
     bucket_ids = np.asarray(bucket_ids, dtype=np.int64)
-    rel = np.zeros(num_buckets)
-    abs_ = np.zeros(num_buckets)
+    rel = np.zeros(num_buckets, dtype=np.float64)
+    abs_ = np.zeros(num_buckets, dtype=np.float64)
     counts = np.zeros(num_buckets, dtype=np.int64)
     e_abs = absolute_errors(pred, truth)
     e_rel = e_abs / np.maximum(truth, 1e-12)

@@ -15,9 +15,11 @@ import os
 
 import numpy as np
 
+from ..devtools.contracts import shapes
 from ..graph import io as graph_io
 
 
+@shapes(diff="(...,d):float")
 def lp_distance(diff: np.ndarray, p: float) -> np.ndarray:
     """``Lp`` norm along the last axis.
 
@@ -33,6 +35,7 @@ def lp_distance(diff: np.ndarray, p: float) -> np.ndarray:
     return np.power(np.power(np.abs(diff), p).sum(axis=-1), 1.0 / p)
 
 
+@shapes(diff="(...,d):float")
 def lp_gradient(diff: np.ndarray, p: float) -> np.ndarray:
     """Gradient of ``||diff||_p`` with respect to ``diff`` (batched).
 
@@ -99,6 +102,7 @@ class RNEModel:
         """Approximate shortest-path distance between two vertices."""
         return float(lp_distance(self.matrix[s] - self.matrix[t], self.p))
 
+    @shapes(pairs="(k,2):int", ret="(k,):float")
     def query_pairs(self, pairs: np.ndarray) -> np.ndarray:
         """Vectorised queries for a ``(k, 2)`` array of vertex pairs."""
         pairs = np.asarray(pairs, dtype=np.int64)

@@ -18,7 +18,7 @@ random pairs — the paper's RNE-Naive ablation arm.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -180,7 +180,7 @@ class RNE:
         return out
 
     # -- persistence -------------------------------------------------------
-    def save(self, path) -> None:
+    def save(self, path: str) -> None:
         """Persist the trained artefact (matrix, metric, tree structure)."""
         arrays = {"matrix": self.model.matrix, "p": np.float64(self.model.p)}
         if self.hierarchy is not None:
@@ -188,7 +188,7 @@ class RNE:
         np.savez_compressed(path, **arrays)
 
     @classmethod
-    def load(cls, path, graph: Graph) -> "RNE":
+    def load(cls, path: str, graph: Graph) -> "RNE":
         """Revive a saved RNE against its (identical) graph."""
         with np.load(path) as data:
             model = RNEModel(np.array(data["matrix"]), p=float(data["p"]))
@@ -218,10 +218,21 @@ def _mean_distance_probe(
     return float(np.mean(phi)) if phi.size else 1.0
 
 
-def build_rne(graph: Graph, config: RNEConfig | None = None) -> RNE:
-    """Train an RNE for ``graph`` — the paper's Algorithm 1 end to end."""
+def build_rne(
+    graph: Graph,
+    config: RNEConfig | None = None,
+    *,
+    seed: int | None = None,
+) -> RNE:
+    """Train an RNE for ``graph`` — the paper's Algorithm 1 end to end.
+
+    ``seed`` overrides ``config.seed`` when given, so callers can vary the
+    randomness without rebuilding a config.
+    """
     if config is None:
         config = RNEConfig()
+    if seed is not None:
+        config = replace(config, seed=seed)
     rng = np.random.default_rng(config.seed)
     labeler = DistanceLabeler(graph)
     history = BuildHistory()
@@ -323,7 +334,7 @@ def _build_hierarchical(
             hmodel,
             pairs,
             phi,
-            np.full(hmodel.num_levels, config.joint_lr_weight),
+            np.full(hmodel.num_levels, config.joint_lr_weight, dtype=np.float64),
             config.train_config(config.joint_epochs),
             rng,
             adam_states=adam,

@@ -61,7 +61,7 @@ class DistanceLabeler:
     def label(self, pairs: np.ndarray) -> np.ndarray:
         """Exact distances for each ``(source, target)`` pair."""
         pairs = np.asarray(pairs, dtype=np.int64)
-        out = np.empty(len(pairs))
+        out = np.empty(len(pairs), dtype=np.float64)
         sources, inverse = np.unique(pairs[:, 0], return_inverse=True)
         # Resolve all rows up front (they may outnumber the cache capacity,
         # so the local dict — not the cache — is the source of truth here).
@@ -342,7 +342,7 @@ def error_based_samples(
         if c > 0
     ]
     if not chunks:
-        return np.empty((0, 2), dtype=np.int64), np.empty(0)
+        return np.empty((0, 2), dtype=np.int64), np.empty(0, dtype=np.float64)
     pairs = np.vstack(chunks)
     phi = labeler.label(pairs)
     return _finite_filter(pairs, phi)

@@ -28,9 +28,11 @@ behaviour does not depend on the map's units or the training phase.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterator
 
 import numpy as np
 
+from ..devtools.contracts import shapes
 from .hierarchical import HierarchicalRNE
 from .model import RNEModel, lp_distance, lp_gradient
 
@@ -80,8 +82,8 @@ class _Adam:
     """
 
     def __init__(self, shape: tuple[int, ...], beta1: float = 0.9, beta2: float = 0.999):
-        self.m = np.zeros(shape)
-        self.v = np.zeros(shape)
+        self.m = np.zeros(shape, dtype=np.float64)
+        self.v = np.zeros(shape, dtype=np.float64)
         self.beta1 = beta1
         self.beta2 = beta2
         self.t = 0
@@ -98,7 +100,7 @@ class _Adam:
 
 def _epoch_batches(
     n_samples: int, batch_size: int, shuffle: bool, rng: np.random.Generator
-):
+) -> Iterator[np.ndarray]:
     order = rng.permutation(n_samples) if shuffle else np.arange(n_samples)
     for start in range(0, n_samples, batch_size):
         yield order[start : start + batch_size]
@@ -134,6 +136,7 @@ def _pair_gradient(
     return grad, resid, pred
 
 
+@shapes(pairs="(k,2):int", phi="(k,):float:finite")
 def train_flat(
     model: RNEModel,
     pairs: np.ndarray,
@@ -160,6 +163,7 @@ def train_flat(
     for _ in range(config.epochs):
         sq_sum = 0.0
         rel_sum = 0.0
+        # perf: loop-ok (one iteration per batch, each fully vectorised)
         for batch in _epoch_batches(len(pairs), config.batch_size, config.shuffle, rng):
             s = pairs[batch, 0]
             t = pairs[batch, 1]
@@ -169,22 +173,23 @@ def train_flat(
             sq_sum += float(np.square(resid).sum())
             rel_sum += float((np.abs(resid) / np.maximum(phi[batch], 1e-12)).sum())
             rows = np.unique(np.concatenate([s, t]))
-            full = np.zeros((rows.size, model.d))
+            full = np.zeros((rows.size, model.d), dtype=np.float64)
             pos = np.searchsorted(rows, s)
             np.add.at(full, pos, grad)
             pos = np.searchsorted(rows, t)
             np.add.at(full, pos, -grad)
             full /= len(batch)
             if adam is not None:
-                model.matrix[rows] += adam.step_rows(rows, full, lr)
+                model.matrix[rows] += adam.step_rows(rows, full, lr)  # mutation-ok (documented in-place training)
             else:
-                model.matrix[rows] -= lr * full
+                model.matrix[rows] -= lr * full  # mutation-ok (documented in-place training)
             del pred
         result.mse.append(sq_sum / len(pairs))
         result.mean_rel_error.append(rel_sum / len(pairs))
     return result
 
 
+@shapes(pairs="(k,2):int", phi="(k,):float:finite")
 def train_hierarchical(
     hmodel: HierarchicalRNE,
     pairs: np.ndarray,
@@ -228,13 +233,14 @@ def train_hierarchical(
     for _ in range(config.epochs):
         sq_sum = 0.0
         rel_sum = 0.0
+        # perf: loop-ok (one iteration per batch, each fully vectorised)
         for batch in _epoch_batches(len(pairs), config.batch_size, config.shuffle, rng):
             s = pairs[batch, 0]
             t = pairs[batch, 1]
             rows_s = anc[s]
             rows_t = anc[t]
-            vs = np.zeros((len(batch), hmodel.d))
-            vt = np.zeros((len(batch), hmodel.d))
+            vs = np.zeros((len(batch), hmodel.d), dtype=np.float64)
+            vt = np.zeros((len(batch), hmodel.d), dtype=np.float64)
             for level, matrix in enumerate(hmodel.locals):
                 vs += matrix[rows_s[:, level]]
                 vt += matrix[rows_t[:, level]]
@@ -245,16 +251,18 @@ def train_hierarchical(
                 ls = rows_s[:, level]
                 lt = rows_t[:, level]
                 rows = np.unique(np.concatenate([ls, lt]))
-                full = np.zeros((rows.size, hmodel.d))
+                full = np.zeros((rows.size, hmodel.d), dtype=np.float64)
                 np.add.at(full, np.searchsorted(rows, ls), grad)
                 np.add.at(full, np.searchsorted(rows, lt), -grad)
                 full /= len(batch)
                 lr = config.lr * level_lrs[level] * scale
                 if use_adam:
+                    # mutation-ok (documented in-place training)
                     hmodel.locals[level][rows] += adam_states[level].step_rows(
                         rows, full, lr
                     )
                 else:
+                    # mutation-ok (documented in-place training)
                     hmodel.locals[level][rows] -= config.lr * level_lrs[level] * full
         result.mse.append(sq_sum / len(pairs))
         result.mean_rel_error.append(rel_sum / len(pairs))
@@ -279,6 +287,6 @@ def level_schedule(focus: int, num_levels: int, *, alpha0: float = 1.0) -> np.nd
 
 def vertex_only_schedule(num_levels: int, *, alpha: float = 1.0) -> np.ndarray:
     """Phase-2 schedule: freeze all sub-graph levels, train only vertices."""
-    lrs = np.zeros(num_levels)
+    lrs = np.zeros(num_levels, dtype=np.float64)
     lrs[-1] = alpha
     return lrs

@@ -1,0 +1,27 @@
+"""Developer tooling: numeric-correctness static analysis + runtime contracts.
+
+Two complementary layers guard the numpy discipline the RNE code relies on:
+
+* :mod:`repro.devtools.lint` — a custom AST linter (rules ``RNE001`` …
+  ``RNE009``) catching unseeded randomness, dtype drift, hidden mutation,
+  Python-level hot loops, assert-based validation, layering violations,
+  float equality on distances, missing ``seed`` parameters, and missing
+  contracts on hot-path entry points.  Run it with::
+
+      python -m repro.devtools.lint src tests benchmarks examples
+
+* :mod:`repro.devtools.contracts` — lightweight ``@shapes`` decorators
+  validating array shape / dtype / finiteness at module boundaries, with a
+  ``REPRO_CONTRACTS=off`` switch so benchmarks pay zero cost.
+
+See ``docs/DEVTOOLS.md`` for the full rule catalogue and waiver syntax.
+"""
+
+from .contracts import ContractError, contracts_enabled, set_contracts_enabled, shapes
+
+__all__ = [
+    "ContractError",
+    "contracts_enabled",
+    "set_contracts_enabled",
+    "shapes",
+]

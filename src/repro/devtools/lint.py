@@ -1,0 +1,149 @@
+"""The RNE numeric-correctness linter.
+
+Usage::
+
+    python -m repro.devtools.lint src tests benchmarks examples
+    rne-lint --list-rules
+    rne-lint --select RNE001,RNE005 src
+
+Exit status 0 when clean, 1 when violations were found, 2 on usage errors.
+A violation is suppressed by a waiver comment on the same line (or the
+line directly above): ``# rne: ignore`` (all rules), ``# rne:
+ignore[RNE003]``, or a rule-specific alias such as ``# perf: loop-ok``.
+Directories named ``fixtures`` are skipped by default — they hold the lint
+test corpus, which is *supposed* to violate rules.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Iterable, List, Optional, Sequence
+
+from .rules import FileContext, Rule, Violation, all_rules
+
+#: Path segments never linted (fixture corpus, caches, VCS internals).
+DEFAULT_EXCLUDED_SEGMENTS = frozenset(
+    {"fixtures", "__pycache__", ".git", ".hypothesis", "build", "dist", ".eggs"}
+)
+
+
+def iter_python_files(
+    paths: Sequence[str],
+    *,
+    excluded_segments: Iterable[str] = DEFAULT_EXCLUDED_SEGMENTS,
+) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    excluded = set(excluded_segments)
+    out: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            if path.endswith(".py"):
+                out.append(path)
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(d for d in dirnames if d not in excluded)
+            for fname in sorted(filenames):
+                if fname.endswith(".py"):
+                    out.append(os.path.join(dirpath, fname))
+    return sorted(set(out))
+
+
+def lint_file(
+    path: str,
+    rules: Sequence[Rule],
+    *,
+    root: Optional[str] = None,
+) -> List[Violation]:
+    """Run ``rules`` over one file; syntax errors surface as RNE000."""
+    relpath = os.path.relpath(path, root) if root else path
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            source = fh.read()
+        ctx = FileContext(path, relpath, source)
+    except (SyntaxError, UnicodeDecodeError) as exc:
+        line = getattr(exc, "lineno", 1) or 1
+        return [
+            Violation(
+                path=relpath.replace("\\", "/"),
+                line=line,
+                col=1,
+                code="RNE000",
+                message=f"file does not parse: {exc.__class__.__name__}: {exc}",
+            )
+        ]
+    found: List[Violation] = []
+    for rule in rules:
+        found.extend(rule.run(ctx))
+    return sorted(found, key=lambda v: (v.line, v.col, v.code))
+
+
+def lint_paths(
+    paths: Sequence[str],
+    *,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+    root: Optional[str] = None,
+) -> List[Violation]:
+    """Lint every Python file under ``paths`` with the registered rules."""
+    rules = all_rules()
+    if select is not None:
+        wanted = set(select)
+        rules = [r for r in rules if r.code in wanted]
+    if ignore is not None:
+        dropped = set(ignore)
+        rules = [r for r in rules if r.code not in dropped]
+    violations: List[Violation] = []
+    for path in iter_python_files(paths):
+        violations.extend(lint_file(path, rules, root=root))
+    return violations
+
+
+def _parse_codes(raw: Optional[str]) -> Optional[List[str]]:
+    if raw is None:
+        return None
+    return [code.strip().upper() for code in raw.split(",") if code.strip()]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="rne-lint",
+        description="RNE numeric-correctness linter (rules RNE001..RNE009)",
+    )
+    parser.add_argument("paths", nargs="*", default=["src"], help="files or directories")
+    parser.add_argument("--select", help="comma-separated rule codes to run")
+    parser.add_argument("--ignore", help="comma-separated rule codes to skip")
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue and exit"
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true", help="suppress the summary line"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.code}  {rule.name}: {rule.description}")
+        return 0
+
+    paths = args.paths or ["src"]
+    missing = [p for p in paths if not os.path.exists(p)]
+    if missing:
+        print(f"rne-lint: no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    violations = lint_paths(
+        paths, select=_parse_codes(args.select), ignore=_parse_codes(args.ignore)
+    )
+    for violation in violations:
+        print(violation.render())
+    if not args.quiet:
+        checked = len(iter_python_files(paths))
+        status = "clean" if not violations else f"{len(violations)} violation(s)"
+        print(f"rne-lint: {checked} file(s) checked, {status}", file=sys.stderr)
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""RNE lint rule registry."""
+
+from __future__ import annotations
+
+from typing import List
+
+from .arrays import ExplicitDtype, HiddenParameterMutation
+from .base import FileContext, Rule, Violation
+from .contracts_rule import ContractCoverage
+from .layering import CoreLayering
+from .perf import HotPathPythonLoop
+from .randomness import MissingSeedParameter, UnseededRandomness
+from .validation import NoBareAssert, NoFloatDistanceEquality
+
+__all__ = ["FileContext", "Rule", "Violation", "all_rules"]
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, ordered by code."""
+    rules: List[Rule] = [
+        UnseededRandomness(),
+        ExplicitDtype(),
+        HiddenParameterMutation(),
+        HotPathPythonLoop(),
+        NoBareAssert(),
+        CoreLayering(),
+        NoFloatDistanceEquality(),
+        MissingSeedParameter(),
+        ContractCoverage(),
+    ]
+    return sorted(rules, key=lambda r: r.code)

@@ -1,0 +1,150 @@
+"""Shared infrastructure for RNE lint rules."""
+
+from __future__ import annotations
+
+import ast
+import io
+import tokenize
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+__all__ = ["Violation", "FileContext", "Rule", "np_call_name"]
+
+#: Generic waiver token: ``# rne: ignore`` or ``# rne: ignore[RNE003]``.
+WAIVER_PREFIX = "rne: ignore"
+#: Rule-specific waiver aliases (comment substring -> rule code).
+WAIVER_ALIASES = {
+    "perf: loop-ok": "RNE004",
+    "mutation-ok": "RNE003",
+    "float-eq-ok": "RNE007",
+}
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One lint finding, printable as ``path:line:col: CODE message``."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+class FileContext:
+    """A parsed source file plus its comment/waiver map."""
+
+    def __init__(self, path: str, relpath: str, source: str) -> None:
+        self.path = path
+        self.relpath = relpath.replace("\\", "/")
+        self.source = source
+        self.tree = ast.parse(source, filename=path)
+        self._comments: Dict[int, str] = {}
+        try:
+            for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+                if tok.type == tokenize.COMMENT:
+                    self._comments[tok.start[0]] = tok.string
+        except tokenize.TokenError:  # pragma: no cover - ast.parse caught worse
+            pass
+        self._parents: Dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+
+    # ------------------------------------------------------------------
+    def comment_on(self, line: int) -> str:
+        return self._comments.get(line, "")
+
+    def is_waived(self, line: int, code: str) -> bool:
+        """True if ``line`` (or the line above) carries a waiver for ``code``.
+
+        Accepted forms: ``# rne: ignore`` (all rules), ``# rne:
+        ignore[RNE00X]``, and the rule-specific aliases in
+        :data:`WAIVER_ALIASES` (e.g. ``# perf: loop-ok`` for RNE004).
+        """
+        for ln in (line, line - 1):
+            comment = self._comments.get(ln, "")
+            if not comment:
+                continue
+            if WAIVER_PREFIX in comment:
+                idx = comment.index(WAIVER_PREFIX) + len(WAIVER_PREFIX)
+                rest = comment[idx:].strip()
+                if not rest.startswith("["):
+                    return True
+                listed = rest[1 : rest.index("]")] if "]" in rest else rest[1:]
+                if code in listed:
+                    return True
+            for alias, alias_code in WAIVER_ALIASES.items():
+                if alias in comment and alias_code == code:
+                    return True
+        return False
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self._parents.get(node)
+
+    def enclosing_function(
+        self, node: ast.AST
+    ) -> Optional[ast.FunctionDef | ast.AsyncFunctionDef]:
+        cursor = self._parents.get(node)
+        while cursor is not None:
+            if isinstance(cursor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return cursor
+            cursor = self._parents.get(cursor)
+        return None
+
+    def function_params(self, fn: ast.FunctionDef | ast.AsyncFunctionDef) -> Set[str]:
+        args = fn.args
+        names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+        if args.vararg:
+            names.append(args.vararg.arg)
+        if args.kwarg:
+            names.append(args.kwarg.arg)
+        return set(names)
+
+
+class Rule:
+    """Base class: subclasses set ``code``/``name`` and implement ``check``."""
+
+    code: str = ""
+    name: str = ""
+    description: str = ""
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return True
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:  # pragma: no cover
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def run(self, ctx: FileContext) -> List[Violation]:
+        if not self.applies_to(ctx):
+            return []
+        return [v for v in self.check(ctx) if not ctx.is_waived(v.line, v.code)]
+
+    def violation(self, ctx: FileContext, node: ast.AST, message: str) -> Violation:
+        return Violation(
+            path=ctx.relpath,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            code=self.code,
+            message=message,
+        )
+
+
+def np_call_name(node: ast.Call) -> Optional[Tuple[str, ...]]:
+    """Dotted name of a call target as a tuple, e.g. ``("np", "zeros")``.
+
+    Returns ``None`` for non-name call targets (lambdas, subscripts, ...).
+    """
+    parts: List[str] = []
+    cursor = node.func
+    while isinstance(cursor, ast.Attribute):
+        parts.append(cursor.attr)
+        cursor = cursor.value
+    if isinstance(cursor, ast.Name):
+        parts.append(cursor.id)
+        return tuple(reversed(parts))
+    return None

@@ -1,0 +1,87 @@
+"""RNE009: hot-path entry points must carry a ``@shapes`` contract.
+
+The runtime contract layer (:mod:`repro.devtools.contracts`) only protects
+functions that are actually decorated; this rule closes the loop by
+statically verifying the entry-point list declared in
+:func:`repro.devtools.contracts.expected_entry_points`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Set
+
+from ..contracts import expected_entry_points
+from .base import FileContext, Rule, Violation
+
+
+def _decorator_names(node: ast.FunctionDef | ast.AsyncFunctionDef) -> Set[str]:
+    names: Set[str] = set()
+    for dec in node.decorator_list:
+        cursor = dec.func if isinstance(dec, ast.Call) else dec
+        while isinstance(cursor, ast.Attribute):
+            if isinstance(cursor.value, ast.Name):
+                names.add(cursor.attr)
+            cursor = cursor.value
+        if isinstance(cursor, ast.Name):
+            names.add(cursor.id)
+    return names
+
+
+class ContractCoverage(Rule):
+    code = "RNE009"
+    name = "contract-coverage"
+    description = (
+        "declared hot-path entry points must be decorated with "
+        "@shapes from repro.devtools.contracts"
+    )
+
+    def __init__(self) -> None:
+        self._targets: Dict[str, Set[str]] = {
+            suffix: set(names) for suffix, names in expected_entry_points().items()
+        }
+
+    def _suffix_for(self, ctx: FileContext) -> str | None:
+        for suffix in self._targets:
+            if ctx.relpath.endswith(suffix):
+                return suffix
+        return None
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return self._suffix_for(ctx) is not None
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        suffix = self._suffix_for(ctx)
+        if suffix is None:  # applies_to guarantees it cannot happen
+            return
+        wanted = self._targets[suffix]
+
+        found: Dict[str, ast.FunctionDef | ast.AsyncFunctionDef] = {}
+        for node in ctx.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                found[node.name] = node
+            elif isinstance(node, ast.ClassDef):
+                for sub in node.body:
+                    if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        found[f"{node.name}.{sub.name}"] = sub
+
+        for qualname in sorted(wanted):
+            fn = found.get(qualname)
+            if fn is None:
+                yield Violation(
+                    path=ctx.relpath,
+                    line=1,
+                    col=1,
+                    code=self.code,
+                    message=(
+                        f"declared entry point '{qualname}' not found; update "
+                        "expected_entry_points() in devtools/contracts.py"
+                    ),
+                )
+            elif "shapes" not in _decorator_names(fn):
+                yield self.violation(
+                    ctx,
+                    fn,
+                    f"hot-path entry point '{qualname}' lacks a @shapes "
+                    "contract (repro.devtools.contracts)",
+                )

@@ -1,0 +1,42 @@
+"""RNE006: layering — ``core/`` must not import networkx.
+
+The numeric core consumes the repo's own :class:`~repro.graph.Graph`
+(CSR arrays); networkx is quarantined in the graph layer so the hot path
+never grows an accidental dependency on per-edge Python objects.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .base import FileContext, Rule, Violation
+
+
+class CoreLayering(Rule):
+    code = "RNE006"
+    name = "core-layering"
+    description = "networkx imports are banned inside src/repro/core"
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return "repro/core/" in ctx.relpath
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[0] == "networkx":
+                        yield self.violation(
+                            ctx,
+                            node,
+                            "networkx import inside core/; go through "
+                            "repro.graph instead (graph layer only)",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module and node.module.split(".")[0] == "networkx":
+                    yield self.violation(
+                        ctx,
+                        node,
+                        "networkx import inside core/; go through "
+                        "repro.graph instead (graph layer only)",
+                    )

@@ -1,0 +1,102 @@
+"""RNE001 / RNE008: controlled-randomness rules.
+
+Reproducibility of a learned distance index hinges on controlled
+randomness: every stochastic path must flow through a seedable
+``numpy.random.Generator``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .base import FileContext, Rule, Violation, np_call_name
+
+#: ``np.random`` attributes that are *not* legacy global-state RNG calls.
+_SANCTIONED_ATTRS = frozenset({"Generator", "default_rng", "SeedSequence", "BitGenerator", "PCG64"})
+#: Parameter names that count as a caller-controlled randomness source.
+SEED_PARAM_NAMES = frozenset({"seed", "rng", "generator", "random_state"})
+
+
+def _in_rng_helper(ctx: FileContext, node: ast.AST) -> bool:
+    fn = ctx.enclosing_function(node)
+    return fn is not None and (fn.name == "_rng" or fn.name.endswith("_rng"))
+
+
+class UnseededRandomness(Rule):
+    code = "RNE001"
+    name = "unseeded-randomness"
+    description = (
+        "np.random.<fn> legacy global-RNG calls, and default_rng() without "
+        "a seed/Generator argument, outside sanctioned _rng helpers"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = np_call_name(node)
+            if dotted is None:
+                continue
+            # Legacy module-level RNG: np.random.rand / shuffle / choice ...
+            if (
+                len(dotted) == 3
+                and dotted[0] in ("np", "numpy")
+                and dotted[1] == "random"
+                and dotted[2] not in _SANCTIONED_ATTRS
+            ):
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"legacy global-state RNG call np.random.{dotted[2]}(); "
+                    "use a seeded np.random.Generator",
+                )
+                continue
+            # default_rng() with no argument == nondeterministic OS entropy.
+            if dotted[-1] == "default_rng" and not node.args and not node.keywords:
+                if not _in_rng_helper(ctx, node):
+                    yield self.violation(
+                        ctx,
+                        node,
+                        "default_rng() without a seed or Generator argument "
+                        "is nondeterministic; thread a seed through",
+                    )
+
+
+class MissingSeedParameter(Rule):
+    code = "RNE008"
+    name = "missing-seed-parameter"
+    description = (
+        "public functions in src/ that consume randomness must expose a "
+        "seed/rng parameter so callers control determinism"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return "src/repro/" in ctx.relpath or ctx.relpath.startswith("repro/")
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name.startswith("_") and node.name != "__init__":
+                continue
+            if ctx.enclosing_function(node) is not None:
+                continue  # nested closure, not public API
+            params = ctx.function_params(node)
+            if params & SEED_PARAM_NAMES:
+                continue
+            # Does the body create randomness itself (not via a parameter)?
+            for sub in ast.walk(node):
+                inner = ctx.enclosing_function(sub)
+                if inner is not node:
+                    continue  # belongs to a nested function: judged on its own
+                if isinstance(sub, ast.Call):
+                    dotted = np_call_name(sub)
+                    if dotted and dotted[-1] == "default_rng":
+                        yield self.violation(
+                            ctx,
+                            node,
+                            f"public function '{node.name}' consumes randomness "
+                            "but has no seed/rng parameter",
+                        )
+                        break

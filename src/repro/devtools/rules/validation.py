@@ -1,0 +1,105 @@
+"""RNE005 / RNE007: runtime-validation discipline.
+
+``assert`` disappears under ``python -O`` and conflates test expectations
+with production validation; float ``==`` on computed distances is wrong for
+every non-trivial path.  Both belong to the "fails only probabilistically"
+class of bug the devtools exist to kill.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from .base import FileContext, Rule, Violation
+
+#: Identifier fragments that mark a value as a computed distance/metric.
+_DISTANCE_FRAGMENTS = ("dist", "phi", "weight", "pred", "error")
+#: Comparison partners that make float equality legitimate (exact
+#: sentinels propagate exactly through min/+).
+_EXACT_SENTINELS = frozenset({"INF", "inf"})
+
+
+class NoBareAssert(Rule):
+    code = "RNE005"
+    name = "no-bare-assert"
+    description = (
+        "bare assert for runtime validation in src/ (stripped under -O); "
+        "raise ValueError or use a devtools contract instead"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return "src/repro/" in ctx.relpath or ctx.relpath.startswith("repro/")
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assert):
+                yield self.violation(
+                    ctx,
+                    node,
+                    "assert is stripped under 'python -O'; raise ValueError "
+                    "(or use repro.devtools.contracts) for runtime validation",
+                )
+
+
+def _identifier_of(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Call):
+        return _identifier_of(node.func)
+    if isinstance(node, ast.Subscript):
+        return _identifier_of(node.value)
+    return None
+
+
+def _is_distance_like(node: ast.AST) -> bool:
+    ident = _identifier_of(node)
+    if ident is None:
+        return False
+    lowered = ident.lower()
+    return any(frag in lowered for frag in _DISTANCE_FRAGMENTS)
+
+
+def _is_exact_sentinel(node: ast.AST) -> bool:
+    ident = _identifier_of(node)
+    if ident in _EXACT_SENTINELS:
+        return True
+    if isinstance(node, ast.Constant) and node.value == 0:
+        return True
+    if isinstance(node, ast.Attribute) and node.attr == "inf":
+        return True
+    return False
+
+
+class NoFloatDistanceEquality(Rule):
+    code = "RNE007"
+    name = "no-float-distance-equality"
+    description = (
+        "== / != between computed distances; compare with a tolerance "
+        "(np.isclose) — exact sentinels (0, INF) are exempt"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return "src/repro/" in ctx.relpath or ctx.relpath.startswith("repro/")
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_exact_sentinel(left) or _is_exact_sentinel(right):
+                    continue
+                if _is_distance_like(left) or _is_distance_like(right):
+                    yield self.violation(
+                        ctx,
+                        node,
+                        "float equality on a computed distance; use "
+                        "np.isclose / an explicit tolerance "
+                        "(waive with '# float-eq-ok' if integral)",
+                    )
+                    break

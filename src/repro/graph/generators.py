@@ -139,7 +139,7 @@ def radial_city(
     n = rings * spokes + 1
     centre = n - 1
     angles = 2 * np.pi * np.arange(spokes) / spokes
-    coords = np.zeros((n, 2))
+    coords = np.zeros((n, 2), dtype=np.float64)
     for r in range(rings):
         radius = (r + 1) * ring_gap
         base = r * spokes

@@ -15,7 +15,7 @@ active fine-tuning phase (Sec. V-C of the paper) need them.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Sequence
+from typing import Any, Iterable, Iterator, Sequence
 
 import numpy as np
 from scipy import sparse
@@ -120,7 +120,7 @@ class Graph:
         return coords
 
     @classmethod
-    def from_networkx(cls, g) -> "Graph":
+    def from_networkx(cls, g: Any) -> "Graph":
         """Build from a networkx graph with ``weight`` edge attributes.
 
         Node labels are mapped to ``0..n-1`` in sorted order; coordinates are
@@ -193,7 +193,7 @@ class Graph:
             (self._wgt, self._dst, self._indptr), shape=(self.n, self.n)
         )
 
-    def to_networkx(self):
+    def to_networkx(self) -> Any:
         """Convert to ``networkx.Graph`` (weights on edges, pos on nodes)."""
         import networkx as nx
 

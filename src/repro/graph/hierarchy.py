@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..devtools.contracts import shapes
 from .graph import Graph
 from .partition import partition_kway
 
@@ -174,6 +175,7 @@ class PartitionHierarchy:
 
     # ------------------------------------------------------------------
     @classmethod
+    @shapes(anc_rows="(n,l):int")
     def from_ancestor_rows(cls, graph: Graph, anc_rows: np.ndarray) -> "PartitionHierarchy":
         """Reconstruct an aligned hierarchy from its ancestor-row array.
 
@@ -241,7 +243,7 @@ class PartitionHierarchy:
         return list(self.levels[0])
 
     def validate(self) -> None:
-        """Raise ``AssertionError`` if tree invariants are violated.
+        """Raise ``ValueError`` if tree invariants are violated.
 
         Checked: every level exactly covers the vertex set without overlap;
         children partition their parent; the vertex level has ``row ==
@@ -252,18 +254,23 @@ class PartitionHierarchy:
             seen = np.zeros(n, dtype=bool)
             for node_id in self.levels[level]:
                 verts = self.nodes[node_id].vertices
-                assert not seen[verts].any(), f"overlap at level {level}"
+                if seen[verts].any():
+                    raise ValueError(f"overlap at level {level}")
                 seen[verts] = True
-            assert seen.all(), f"level {level} does not cover all vertices"
+            if not seen.all():
+                raise ValueError(f"level {level} does not cover all vertices")
         for node in self.nodes:
             if node.children:
                 child_union = np.concatenate(
                     [self.nodes[c].vertices for c in node.children]
                 )
-                assert np.array_equal(
-                    np.sort(child_union), np.sort(node.vertices)
-                ), f"children of node {node.id} do not partition it"
+                if not np.array_equal(np.sort(child_union), np.sort(node.vertices)):
+                    raise ValueError(f"children of node {node.id} do not partition it")
         depth = self.num_subgraph_levels
         for node_id in self.levels[depth]:
             node = self.nodes[node_id]
-            assert node.size == 1 and node.row == int(node.vertices[0])
+            if node.size != 1 or node.row != int(node.vertices[0]):
+                raise ValueError(
+                    f"vertex-level node {node.id} must be a singleton with "
+                    f"row == vertex id"
+                )

@@ -49,7 +49,7 @@ def load_dimacs(gr_path: str | os.PathLike, co_path: str | os.PathLike | None = 
 
     coords = None
     if co_path is not None:
-        coords = np.zeros((n, 2))
+        coords = np.zeros((n, 2), dtype=np.float64)
         with open(co_path, "r", encoding="utf-8") as fh:
             for line in fh:
                 if line[:1] != "v":

@@ -1,0 +1,11 @@
+"""RNE001 positive cases: unseeded randomness."""
+import numpy as np
+
+
+def roll():
+    return np.random.rand(3)  # legacy global RNG
+
+
+def fresh():
+    rng = np.random.default_rng()  # no seed argument
+    return rng.normal(size=4)

@@ -1,0 +1,16 @@
+"""RNE001 negative cases: sanctioned randomness."""
+import numpy as np
+
+
+def roll(seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.random(3)
+
+
+def coerce(seed=None):
+    return seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+
+
+def _rng():
+    # Sanctioned helper: the single place allowed to mint entropy.
+    return np.random.default_rng()

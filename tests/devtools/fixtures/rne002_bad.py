@@ -1,0 +1,9 @@
+"""RNE002 positive cases: dtype-less constructors (pretend src/repro path)."""
+import numpy as np
+
+
+def build(n):
+    a = np.zeros(n)
+    b = np.empty((n, 2))
+    c = np.full(n, 1.5)
+    return a, b, c

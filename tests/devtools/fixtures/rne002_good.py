@@ -1,0 +1,10 @@
+"""RNE002 negative cases: explicit dtypes, and converters are exempt."""
+import numpy as np
+
+
+def build(n, data):
+    a = np.zeros(n, dtype=np.float64)
+    b = np.empty((n, 2), dtype=np.int64)
+    c = np.full(n, 1.5, dtype=np.float64)
+    d = np.asarray(data)  # converter: dtype= not required
+    return a, b, c, d

@@ -1,0 +1,16 @@
+"""RNE003 positive cases: hidden mutation of parameters (pretend core/)."""
+import numpy as np
+
+
+def update(matrix, grad):
+    matrix += grad
+    return matrix
+
+
+def update_rows(model, rows, step):
+    model.matrix[rows] -= step
+    return model
+
+
+def reduce_into(dist, other):
+    np.minimum(dist, other, out=dist)

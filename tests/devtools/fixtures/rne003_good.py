@@ -1,0 +1,17 @@
+"""RNE003 negative cases: local mutation and waived in-place contracts."""
+import numpy as np
+
+
+def update(matrix, grad):
+    out = matrix.copy()
+    out += grad  # local array: fine
+    return out
+
+
+def train(model, step):
+    model.matrix += step  # mutation-ok (documented in-place training)
+    return model
+
+
+def accumulate(self, grad):
+    self.total += grad  # self-mutation is the object's own business

@@ -1,0 +1,16 @@
+"""RNE004 positive cases: Python loops over vertex/pair data (pretend
+core/training.py)."""
+
+
+def slow_gather(pairs, matrix):
+    acc = 0.0
+    for s, t in pairs:
+        acc += abs(matrix[s] - matrix[t]).sum()
+    return acc
+
+
+def slow_scan(graph):
+    total = 0
+    for v in range(graph.n):
+        total += v
+    return total

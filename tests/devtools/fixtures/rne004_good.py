@@ -1,0 +1,14 @@
+"""RNE004 negative cases: small bounded loops and waived batch loops."""
+
+
+def train(config, pairs, batches):
+    for _ in range(config.epochs):  # bounded by epochs, not n
+        pass
+    # perf: loop-ok (one iteration per batch, each fully vectorised)
+    for batch in batches(len(pairs)):
+        pass
+
+
+def levels(model):
+    for level in range(model.num_levels):
+        pass

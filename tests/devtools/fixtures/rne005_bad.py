@@ -1,0 +1,6 @@
+"""RNE005 positive cases: assert used for runtime validation."""
+
+
+def check(pairs, phi):
+    assert pairs.shape[0] == phi.shape[0], "pairs and phi must align"
+    assert phi.ndim == 1

@@ -1,0 +1,8 @@
+"""RNE005 negative cases: explicit raises."""
+
+
+def check(pairs, phi):
+    if pairs.shape[0] != phi.shape[0]:
+        raise ValueError("pairs and phi must align")
+    if phi.ndim != 1:
+        raise ValueError(f"phi must be 1-d, got {phi.ndim}-d")

@@ -1,0 +1,7 @@
+"""RNE006 positive cases: networkx inside core/ (pretend core/ path)."""
+import networkx as nx
+from networkx.algorithms import shortest_path
+
+
+def convert(graph):
+    return nx.Graph(graph), shortest_path

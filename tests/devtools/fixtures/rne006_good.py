@@ -1,0 +1,8 @@
+"""RNE006 negative cases: core/ consuming the repo's own graph layer."""
+import numpy as np
+
+from repro.graph import Graph
+
+
+def degrees(graph: Graph) -> np.ndarray:
+    return graph.degrees()

@@ -1,0 +1,11 @@
+"""RNE007 positive cases: float equality on computed distances."""
+
+
+def same(dist_a, dist_b):
+    return dist_a == dist_b
+
+
+def check(pred, phi):
+    if pred != phi:
+        return False
+    return True

@@ -1,0 +1,20 @@
+"""RNE007 negative cases: tolerances and exact sentinels."""
+import numpy as np
+
+INF = float("inf")
+
+
+def same(dist_a, dist_b):
+    return np.isclose(dist_a, dist_b, rtol=1e-9)
+
+
+def unreachable(dist):
+    return dist == INF  # INF propagates exactly through min/+
+
+
+def trivial(dist):
+    return dist == 0  # exact-zero sentinel
+
+
+def hops(hop_count_a, hop_count_b):
+    return hop_count_a == hop_count_b  # integers, not distances

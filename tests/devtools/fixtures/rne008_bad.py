@@ -1,0 +1,8 @@
+"""RNE008 positive cases: randomness without a seed parameter (pretend
+src/repro path)."""
+import numpy as np
+
+
+def sample_pairs(n, count):
+    rng = np.random.default_rng(42)  # seeded, but the caller cannot change it
+    return rng.integers(n, size=(count, 2))

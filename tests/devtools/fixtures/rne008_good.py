@@ -1,0 +1,15 @@
+"""RNE008 negative cases: seed threaded through, private helpers exempt."""
+import numpy as np
+
+
+def sample_pairs(n, count, seed=None):
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    return rng.integers(n, size=(count, 2))
+
+
+def shuffled(items, rng):
+    return rng.permutation(items)
+
+
+def _internal(n):
+    return np.random.default_rng(0).integers(n)

@@ -1,0 +1,18 @@
+"""RNE009 positive cases: undecorated entry points (pretend core/model.py).
+
+Only ``lp_distance``/``lp_gradient``/``RNEModel.query_pairs`` are declared
+entry points for that path, so the missing decorators below must all fire.
+"""
+
+
+def lp_distance(diff, p):
+    return abs(diff).sum(axis=-1)
+
+
+def lp_gradient(diff, p):
+    return diff
+
+
+class RNEModel:
+    def query_pairs(self, pairs):
+        return pairs

@@ -1,0 +1,20 @@
+"""RNE009 negative cases: entry points carrying @shapes (pretend
+core/model.py)."""
+from repro.devtools import contracts
+from repro.devtools.contracts import shapes
+
+
+@shapes(diff="(...,d):float")
+def lp_distance(diff, p):
+    return abs(diff).sum(axis=-1)
+
+
+@contracts.shapes(diff="(...,d):float")
+def lp_gradient(diff, p):
+    return diff
+
+
+class RNEModel:
+    @shapes(pairs="(k,2):int")
+    def query_pairs(self, pairs):
+        return pairs

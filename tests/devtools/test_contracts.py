@@ -1,0 +1,155 @@
+"""Unit tests for the @shapes runtime contract decorator."""
+
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.devtools import contracts
+from repro.devtools.contracts import ContractError, check_array, shapes
+
+
+@shapes(pairs="(k,2):int", phi="(k,):float:finite", ret="(k,):float")
+def _predict(pairs, phi):
+    return phi * 2.0
+
+
+class TestGoodShapesPass:
+    def test_basic(self):
+        pairs = np.array([[0, 1], [1, 2]], dtype=np.int64)
+        phi = np.array([1.0, 2.0])
+        out = _predict(pairs, phi)
+        assert out.shape == (2,)
+
+    def test_kwargs_and_lists(self):
+        out = _predict(pairs=[[0, 1]], phi=np.array([3.0]))
+        assert float(out[0]) == 6.0
+
+    def test_empty_is_a_valid_k(self):
+        out = _predict(np.empty((0, 2), dtype=np.int64), np.empty(0, dtype=np.float64))
+        assert out.size == 0
+
+    def test_variadic_batch_dims(self):
+        @shapes(diff="(...,d):float")
+        def norm(diff):
+            return np.abs(diff).sum(axis=-1)
+
+        assert norm(np.zeros(4)).shape == ()
+        assert norm(np.zeros((3, 4))).shape == (3,)
+        assert norm(np.zeros((2, 3, 4))).shape == (2, 3)
+
+    def test_optional_none(self):
+        @shapes(targets="?(k,):int")
+        def lookup(targets=None):
+            return targets
+
+        assert lookup(None) is None
+        assert lookup(np.arange(3)) is not None
+
+    def test_scalar_spec(self):
+        @shapes(alpha="():float")
+        def scale(alpha):
+            return alpha
+
+        assert scale(1.5) == 1.5
+        with pytest.raises(ContractError, match="scalar"):
+            scale(np.ones(3))
+
+
+class TestBadShapesRaise:
+    def test_wrong_rank(self):
+        with pytest.raises(ContractError, match="rank"):
+            _predict(np.array([0, 1], dtype=np.int64), np.array([1.0]))
+
+    def test_wrong_literal_dim(self):
+        with pytest.raises(ContractError, match="dimension"):
+            _predict(np.zeros((2, 3), dtype=np.int64), np.array([1.0, 2.0]))
+
+    def test_dim_unification_across_args(self):
+        with pytest.raises(ContractError, match="'k'"):
+            _predict(np.zeros((2, 2), dtype=np.int64), np.array([1.0, 2.0, 3.0]))
+
+    def test_dtype_kind(self):
+        with pytest.raises(ContractError, match="dtype"):
+            _predict(np.zeros((2, 2), dtype=np.float64), np.array([1.0, 2.0]))
+
+    def test_finiteness(self):
+        with pytest.raises(ContractError, match="finite"):
+            _predict(np.zeros((2, 2), dtype=np.int64), np.array([1.0, np.inf]))
+
+    def test_none_for_required(self):
+        with pytest.raises(ContractError, match="None"):
+            _predict(None, np.array([1.0]))
+
+    def test_return_contract(self):
+        @shapes(x="(k,):float", ret="(k,):int")
+        def bad_ret(x):
+            return x  # float out, int promised
+
+        with pytest.raises(ContractError, match="return"):
+            bad_ret(np.ones(3))
+
+    def test_contract_error_is_value_error(self):
+        assert issubclass(ContractError, ValueError)
+
+
+class TestDecoratorHygiene:
+    def test_unknown_argument_rejected_at_decoration(self):
+        with pytest.raises(TypeError, match="no such argument"):
+            @shapes(nope="(k,):float")
+            def fn(x):
+                return x
+
+    def test_specs_recorded_for_introspection(self):
+        assert _predict.__contract_specs__["pairs"] == "(k,2):int"
+
+    def test_bad_spec_string_rejected(self):
+        with pytest.raises(ValueError, match="bad contract spec"):
+            shapes(x="k,2")
+
+    def test_check_array_imperative(self):
+        check_array("phi", np.ones(3), "(k,):float")
+        with pytest.raises(ContractError):
+            check_array("phi", np.ones((3, 1)), "(k,):float")
+
+
+class TestEnableSwitch:
+    def test_runtime_toggle_disables_checks(self):
+        previous = contracts.set_contracts_enabled(False)
+        try:
+            # Violating call passes straight through while disabled.
+            out = _predict(np.zeros((2, 5), dtype=np.float32), np.array([1.0]))
+            assert out.shape == (1,)
+        finally:
+            contracts.set_contracts_enabled(previous)
+        with pytest.raises(ContractError):
+            _predict(np.zeros((2, 5), dtype=np.float32), np.array([1.0]))
+
+    def test_env_off_makes_decorator_a_noop(self):
+        # REPRO_CONTRACTS=off at import time must leave functions unwrapped.
+        code = (
+            "import numpy as np\n"
+            "from repro.devtools.contracts import shapes\n"
+            "@shapes(x='(k,2):int')\n"
+            "def fn(x):\n"
+            "    return x\n"
+            "assert not hasattr(fn, '__wrapped__')\n"
+            "fn(np.zeros(7))  # violates the spec: must NOT raise\n"
+            "print('ok')\n"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": "src", "REPRO_CONTRACTS": "off"},
+        )
+        assert result.returncode == 0, result.stderr
+        assert "ok" in result.stdout
+
+    def test_core_entry_points_are_wrapped(self):
+        from repro.core.model import lp_distance
+        from repro.core.training import train_flat
+
+        assert hasattr(lp_distance, "__contract_specs__")
+        assert hasattr(train_flat, "__contract_specs__")

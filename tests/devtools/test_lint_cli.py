@@ -1,0 +1,111 @@
+"""CLI / driver-level tests for the linter, plus the repo-wide meta-test."""
+
+import os
+
+import pytest
+
+from repro.devtools.lint import iter_python_files, lint_file, lint_paths, main
+from repro.devtools.rules import all_rules
+
+REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir, os.pardir)
+)
+
+BAD_SOURCE = "import numpy as np\nx = np.zeros(3)\n"
+CLEAN_SOURCE = "import numpy as np\nx = np.zeros(3, dtype=np.float64)\n"
+
+
+def _write(tmp_path, relpath, source):
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source, encoding="utf-8")
+    return str(path)
+
+
+class TestDriver:
+    def test_lint_paths_finds_violations(self, tmp_path):
+        _write(tmp_path, "src/repro/core/mod.py", BAD_SOURCE)
+        found = lint_paths([str(tmp_path)], root=str(tmp_path))
+        assert [v.code for v in found] == ["RNE002"]
+        assert found[0].path == "src/repro/core/mod.py"
+
+    def test_select_and_ignore(self, tmp_path):
+        _write(tmp_path, "src/repro/core/mod.py", BAD_SOURCE)
+        assert lint_paths([str(tmp_path)], select=["RNE001"], root=str(tmp_path)) == []
+        assert lint_paths([str(tmp_path)], ignore=["RNE002"], root=str(tmp_path)) == []
+
+    def test_syntax_error_reports_rne000(self, tmp_path):
+        path = _write(tmp_path, "src/repro/core/broken.py", "def f(:\n")
+        found = lint_file(path, all_rules(), root=str(tmp_path))
+        assert len(found) == 1
+        assert found[0].code == "RNE000"
+        assert "does not parse" in found[0].message
+
+    def test_fixtures_directories_are_excluded(self, tmp_path):
+        _write(tmp_path, "src/repro/core/mod.py", CLEAN_SOURCE)
+        _write(tmp_path, "tests/fixtures/corpus.py", BAD_SOURCE)
+        files = iter_python_files([str(tmp_path)])
+        relative = [os.path.relpath(f, str(tmp_path)) for f in files]
+        assert all("fixtures" not in f.split(os.sep) for f in relative)
+        assert lint_paths([str(tmp_path)], root=str(tmp_path)) == []
+
+    def test_explicit_file_argument(self, tmp_path):
+        path = _write(tmp_path, "src/repro/core/mod.py", BAD_SOURCE)
+        assert iter_python_files([path]) == [path]
+
+
+class TestCli:
+    def test_exit_zero_when_clean(self, tmp_path, capsys):
+        _write(tmp_path, "src/repro/core/mod.py", CLEAN_SOURCE)
+        assert main([str(tmp_path)]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "clean" in captured.err
+
+    def test_exit_one_on_violations(self, tmp_path, capsys):
+        _write(tmp_path, "src/repro/core/mod.py", BAD_SOURCE)
+        assert main([str(tmp_path)]) == 1
+        captured = capsys.readouterr()
+        assert "RNE002" in captured.out
+        assert "1 violation(s)" in captured.err
+
+    def test_exit_two_on_missing_path(self, tmp_path, capsys):
+        assert main([str(tmp_path / "no-such-dir")]) == 2
+        assert "no such path" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in all_rules():
+            assert rule.code in out
+
+    def test_select_flag(self, tmp_path, capsys):
+        _write(tmp_path, "src/repro/core/mod.py", BAD_SOURCE)
+        assert main(["--select", "RNE001", str(tmp_path)]) == 0
+        assert main(["--select", "rne002", str(tmp_path)]) == 1
+        capsys.readouterr()
+
+    def test_quiet_suppresses_summary(self, tmp_path, capsys):
+        _write(tmp_path, "src/repro/core/mod.py", CLEAN_SOURCE)
+        assert main(["-q", str(tmp_path)]) == 0
+        captured = capsys.readouterr()
+        assert captured.err == ""
+
+    def test_violation_render_format(self, tmp_path):
+        _write(tmp_path, "src/repro/core/mod.py", BAD_SOURCE)
+        found = lint_paths([str(tmp_path)], root=str(tmp_path))
+        rendered = found[0].render()
+        assert rendered.startswith("src/repro/core/mod.py:2:")
+        assert "RNE002" in rendered
+
+
+@pytest.mark.parametrize("tree", ["src", "tests", "benchmarks", "examples"])
+def test_repo_lints_clean(tree):
+    """Meta-test: the repository itself must satisfy its own linter."""
+    target = os.path.join(REPO_ROOT, tree)
+    if not os.path.isdir(target):
+        pytest.skip(f"no {tree}/ directory in this checkout")
+    found = lint_paths([target], root=REPO_ROOT)
+    assert found == [], "repo lint violations:\n" + "\n".join(
+        v.render() for v in found
+    )
