@@ -5,7 +5,9 @@ Usage::
     rne list                 # show available experiments
     rne table3               # regenerate Table III
     rne fig11 --fast         # quick, scaled-down version
-    rne all                  # everything (slow)
+    rne all                  # everything (slow); failures don't stop the run
+    rne train --out model.npz --checkpoint-dir ckpts   # crash-safe training
+    rne train --out model.npz --checkpoint-dir ckpts --resume
 
 Equivalent to ``python -m repro.cli <experiment>``.
 """
@@ -18,14 +20,102 @@ import sys
 from .bench.experiments import EXPERIMENTS
 
 
+def _run_experiments(names: list[str], *, fast: bool) -> int:
+    """Run each experiment, isolating failures.
+
+    A crash in one experiment (bad dataset, diverged training, ...) must not
+    take down the rest of an ``rne all`` run: the exception is caught, the
+    experiment is reported in a failure summary, and the exit code is 1.
+    """
+    failed: list[tuple[str, BaseException]] = []
+    for name in names:
+        print(f"== {name} ==")
+        try:
+            print(EXPERIMENTS[name](fast=fast))
+        except KeyboardInterrupt:
+            raise
+        except Exception as exc:  # noqa: BLE001 — isolation is the point
+            failed.append((name, exc))
+            print(
+                f"experiment '{name}' failed: {exc.__class__.__name__}: {exc}",
+                file=sys.stderr,
+            )
+        print()
+    if failed:
+        summary = ", ".join(name for name, _ in failed)
+        print(
+            f"{len(failed)}/{len(names)} experiment(s) failed: {summary}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _run_train(argv: list[str]) -> int:
+    """``rne train``: build an RNE with checkpointing and save the artifact."""
+    parser = argparse.ArgumentParser(
+        prog="rne train",
+        description=(
+            "Train an RNE on a synthetic grid city with crash-safe "
+            "checkpoints; interrupt it and re-run with --resume to continue."
+        ),
+    )
+    parser.add_argument("--out", required=True, help="output artifact (.npz)")
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="directory for per-stage training checkpoints",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from the latest valid checkpoint in --checkpoint-dir",
+    )
+    parser.add_argument("--size", type=int, default=16, help="grid side length")
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    args = parser.parse_args(argv)
+
+    if args.resume and args.checkpoint_dir is None:
+        print("--resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+
+    from .core.pipeline import RNEConfig, build_rne
+    from .graph.generators import grid_city
+    from .reliability.checkpoint import TrainingDiverged
+
+    graph = grid_city(args.size, args.size, seed=args.seed)
+    try:
+        rne = build_rne(
+            graph,
+            RNEConfig(seed=args.seed),
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
+        )
+    except TrainingDiverged as exc:
+        print(f"training diverged beyond recovery: {exc}", file=sys.stderr)
+        return 1
+    rne.save(args.out)
+    for note in rne.history.notes:
+        print(f"note: {note}")
+    print(
+        f"trained on {graph.n} vertices, final mean relative error "
+        f"{rne.history.phase_errors['final'] * 100:.2f}%, saved to {args.out}"
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "train":
+        return _run_train(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="rne",
         description="Run RNE reproduction experiments (ICDE 2021 tables/figures).",
     )
     parser.add_argument(
         "experiment",
-        help="experiment name (see 'rne list'), 'list', or 'all'",
+        help="experiment name (see 'rne list'), 'list', 'all', or 'train'",
     )
     parser.add_argument(
         "--fast",
@@ -46,11 +136,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"available: {', '.join(EXPERIMENTS)}", file=sys.stderr)
         return 2
 
-    for name in names:
-        print(f"== {name} ==")
-        print(EXPERIMENTS[name](fast=args.fast))
-        print()
-    return 0
+    return _run_experiments(names, fast=args.fast)
 
 
 if __name__ == "__main__":

@@ -17,13 +17,31 @@ random pairs — the paper's RNE-Naive ablation arm.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Sequence
 
 import numpy as np
 
 from ..algorithms.landmarks import select_landmarks
 from ..graph import Graph, PartitionHierarchy
+from ..reliability.artifacts import (
+    ArtifactError,
+    load_artifact,
+    save_artifact,
+    validate_embedding_payload,
+)
+from ..reliability.checkpoint import (
+    CheckpointManager,
+    RetryPolicy,
+    abort_on_nonfinite,
+    pack_state,
+    restore_rng,
+    rng_state,
+    run_with_recovery,
+    unpack_state,
+)
 from .finetune import FinetuneResult, active_finetune
 from .hierarchical import HierarchicalRNE
 from .index import EmbeddingTreeIndex
@@ -40,6 +58,7 @@ from .sampling import (
 from .training import (
     TrainConfig,
     TrainResult,
+    clone_adam_states,
     level_schedule,
     new_adam_states,
     train_flat,
@@ -181,22 +200,44 @@ class RNE:
 
     # -- persistence -------------------------------------------------------
     def save(self, path: str) -> None:
-        """Persist the trained artefact (matrix, metric, tree structure)."""
+        """Persist the trained artefact (matrix, metric, tree structure).
+
+        Written through the reliability artifact layer: atomic replace, a
+        manifest with per-array checksums, and the training graph's
+        fingerprint so the artifact can only be revived against the same
+        network.
+        """
         arrays = {"matrix": self.model.matrix, "p": np.float64(self.model.p)}
         if self.hierarchy is not None:
             arrays["anc_rows"] = self.hierarchy.anc_rows
-        np.savez_compressed(path, **arrays)
+        save_artifact(path, arrays, kind="rne", graph=self.graph)
 
     @classmethod
     def load(cls, path: str, graph: Graph) -> "RNE":
-        """Revive a saved RNE against its (identical) graph."""
-        with np.load(path) as data:
-            model = RNEModel(np.array(data["matrix"]), p=float(data["p"]))
-            hierarchy = None
-            if "anc_rows" in data:
+        """Revive a saved RNE against its (verified-identical) graph.
+
+        Raises :class:`~repro.reliability.artifacts.ArtifactError` when the
+        file is corrupt, truncated, schema-incompatible, or was trained on
+        a different graph — a loaded RNE never silently mis-answers.
+        """
+        arrays, _ = load_artifact(path, expect_kind="rne", graph=graph)
+        if "matrix" not in arrays or "p" not in arrays:
+            raise ArtifactError(f"{path}: RNE artifact is missing arrays")
+        matrix, p = validate_embedding_payload(
+            path, arrays["matrix"], arrays["p"], expect_n=graph.n
+        )
+        model = RNEModel(matrix, p=p)
+        hierarchy = None
+        if "anc_rows" in arrays:
+            try:
                 hierarchy = PartitionHierarchy.from_ancestor_rows(
-                    graph, np.array(data["anc_rows"])
+                    graph, arrays["anc_rows"]
                 )
+            except ValueError as exc:
+                raise ArtifactError(
+                    f"{path}: stored hierarchy is inconsistent with the "
+                    f"graph: {exc}"
+                ) from exc
         return cls(graph, model, hierarchy, BuildHistory())
 
     # -- accounting --------------------------------------------------------
@@ -223,11 +264,23 @@ def build_rne(
     config: RNEConfig | None = None,
     *,
     seed: int | None = None,
+    checkpoint_dir: str | None = None,
+    resume: bool = False,
 ) -> RNE:
     """Train an RNE for ``graph`` — the paper's Algorithm 1 end to end.
 
     ``seed`` overrides ``config.seed`` when given, so callers can vary the
     randomness without rebuilding a config.
+
+    ``checkpoint_dir`` enables crash-safe per-stage checkpoints (each phase
+    of Algorithm 1 is a stage); with ``resume=True`` the build restores the
+    latest *valid* checkpoint from that directory — corrupt ones are
+    skipped — and re-runs only the remaining stages.  A resumed build is
+    bit-identical to an uninterrupted one because checkpoints carry the
+    embedding state, the per-level Adam moments and the RNG stream
+    position.  Each training stage also runs under divergence recovery:
+    non-finite or regressing loss rolls the stage back and retries at a
+    reduced learning rate (see :mod:`repro.reliability.checkpoint`).
     """
     if config is None:
         config = RNEConfig()
@@ -237,6 +290,11 @@ def build_rne(
     labeler = DistanceLabeler(graph)
     history = BuildHistory()
     start = time.perf_counter()
+    manager = (
+        CheckpointManager(checkpoint_dir, graph=graph)
+        if checkpoint_dir is not None
+        else None
+    )
 
     val_pairs, val_phi = validation_set(
         graph, config.validation_size, labeler, seed=np.random.default_rng(config.seed + 99)
@@ -245,11 +303,13 @@ def build_rne(
 
     if config.hierarchical:
         model, hierarchy = _build_hierarchical(
-            graph, config, rng, labeler, history, val_pairs, val_phi, mean_phi
+            graph, config, rng, labeler, history, val_pairs, val_phi, mean_phi,
+            manager=manager, resume=resume,
         )
     else:
         model, hierarchy = _build_flat(
-            graph, config, rng, labeler, history, val_pairs, val_phi, mean_phi
+            graph, config, rng, labeler, history, val_pairs, val_phi, mean_phi,
+            manager=manager, resume=resume,
         )
 
     history.build_seconds = time.perf_counter() - start
@@ -268,6 +328,81 @@ def _init_scale(mean_phi: float, d: int) -> float:
     return mean_phi * np.sqrt(np.pi) / (2.0 * d)
 
 
+def _serialize_history(history: BuildHistory) -> dict[str, Any]:
+    """JSON-safe fragment of the build history for checkpoint manifests."""
+    return {
+        "phase_errors": {k: float(v) for k, v in history.phase_errors.items()},
+        "train_results": {
+            name: {"mse": list(res.mse), "mean_rel_error": list(res.mean_rel_error)}
+            for name, res in history.train_results.items()
+        },
+        "finetune_errors": (
+            list(history.finetune.mean_rel_errors)
+            if history.finetune is not None
+            else None
+        ),
+        "notes": list(history.notes),
+    }
+
+
+def _restore_history(history: BuildHistory, meta: dict[str, Any]) -> None:
+    history.phase_errors.update(
+        {k: float(v) for k, v in meta.get("phase_errors", {}).items()}
+    )
+    for name, payload in meta.get("train_results", {}).items():
+        history.train_results[name] = TrainResult(
+            mse=[float(v) for v in payload["mse"]],
+            mean_rel_error=[float(v) for v in payload["mean_rel_error"]],
+        )
+    if meta.get("finetune_errors"):
+        history.finetune = FinetuneResult(
+            mean_rel_errors=[float(v) for v in meta["finetune_errors"]],
+            bucket_errors=[],
+        )
+    for note in meta.get("notes", []):
+        if note not in history.notes:
+            history.notes.append(note)
+
+
+def _restore_latest(
+    manager: CheckpointManager,
+    stage_names: list[str],
+    matrices: list[np.ndarray],
+    adam_states: list[Any] | None,
+    rng: np.random.Generator,
+    history: BuildHistory,
+) -> int:
+    """Load the latest valid checkpoint into the live training state.
+
+    Returns the index of the restored stage in ``stage_names``, or ``-1``
+    when nothing usable was found (fresh start).  Corrupt or mismatched
+    checkpoints are noted and skipped, never trusted.
+    """
+    found = manager.latest()
+    for path, reason in manager.skipped:
+        history.notes.append(
+            f"skipped corrupt checkpoint {os.path.basename(path)}: {reason}"
+        )
+    if found is None:
+        return -1
+    stage, arrays, meta = found
+    if stage not in stage_names or int(meta.get("step", -1)) != stage_names.index(stage):
+        history.notes.append(
+            f"checkpoint stage {stage!r} does not match this configuration; "
+            "starting fresh"
+        )
+        return -1
+    try:
+        unpack_state(arrays, meta, matrices, adam_states)
+    except ArtifactError as exc:
+        history.notes.append(f"checkpoint {stage!r} unusable: {exc}; starting fresh")
+        return -1
+    restore_rng(rng, meta["rng_state"])
+    _restore_history(history, meta)
+    history.notes.append(f"resumed from checkpoint {stage!r}")
+    return stage_names.index(stage)
+
+
 def _build_hierarchical(
     graph: Graph,
     config: RNEConfig,
@@ -277,7 +412,14 @@ def _build_hierarchical(
     val_pairs: np.ndarray,
     val_phi: np.ndarray,
     mean_phi: float,
+    *,
+    manager: CheckpointManager | None = None,
+    resume: bool = False,
 ) -> tuple[RNEModel, PartitionHierarchy]:
+    # The hierarchy and initial embeddings are reconstructed
+    # deterministically from config.seed on every call, so a resumed run
+    # only needs the checkpointed matrices / Adam moments / RNG position to
+    # be bit-identical to an uninterrupted one.
     hierarchy = PartitionHierarchy(
         graph, fanout=config.fanout, leaf_size=config.leaf_size, seed=rng
     )
@@ -288,81 +430,185 @@ def _build_hierarchical(
         init_scale=_init_scale(mean_phi, config.d),
         seed=rng,
     )
+    adam = new_adam_states(hmodel)
+
+    stage_names = [f"hier_level_{f}" for f in range(hierarchy.num_subgraph_levels)]
+    stage_names.append("vertex")
+    if config.joint_epochs > 0:
+        stage_names.append("joint")
+    run_finetune = config.active and graph.coords is not None
+    if run_finetune:
+        stage_names.append("finetune")
+
+    resume_step = -1
+    if manager is not None and resume:
+        resume_step = _restore_latest(
+            manager, stage_names, hmodel.locals, adam, rng, history
+        )
+
+    def pending(name: str) -> bool:
+        # Skipped stages consume no RNG draws: the restored stream position
+        # already accounts for everything up to and including the checkpoint.
+        return stage_names.index(name) > resume_step
+
+    def snapshot() -> tuple[Any, ...]:
+        return (
+            [m.copy() for m in hmodel.locals],
+            clone_adam_states(adam),
+            rng_state(rng),
+        )
+
+    def restore(snap: tuple[Any, ...]) -> None:
+        mats, states, rstate = snap
+        for matrix, saved in zip(hmodel.locals, mats):
+            matrix[...] = saved
+        for cur, saved in zip(adam, states):
+            cur.m[...] = saved.m
+            cur.v[...] = saved.v
+            cur.t = saved.t
+        restore_rng(rng, rstate)
+
+    def run_stage(
+        name: str,
+        attempt: Callable[[float], Any],
+        *,
+        history_of: Callable[[Any], Sequence[float]] | None = None,
+    ) -> Any:
+        outcome = run_with_recovery(
+            attempt, snapshot, restore, stage=name, history_of=history_of
+        )
+        history.notes.extend(outcome.notes)
+        return outcome.result
+
+    def checkpoint(name: str) -> None:
+        if manager is None:
+            return
+        arrays, meta = pack_state(hmodel.locals, adam)
+        meta["rng_state"] = rng_state(rng)
+        meta.update(_serialize_history(history))
+        manager.save(name, arrays, meta, step=stage_names.index(name))
 
     # Phase 1: level-by-level hierarchy embedding.
-    adam = new_adam_states(hmodel)
     for focus in range(hierarchy.num_subgraph_levels):
+        name = f"hier_level_{focus}"
+        if not pending(name):
+            continue
         pairs, phi = subgraph_level_samples(
             hierarchy, focus, config.hier_samples_per_level, labeler, rng
         )
         schedule = level_schedule(focus, hmodel.num_levels)
-        res = train_hierarchical(
-            hmodel, pairs, phi, schedule, config.train_config(config.hier_epochs),
-            rng, adam_states=adam,
-        )
-        history.train_results[f"hier_level_{focus}"] = res
-    history.phase_errors["after_hierarchy"] = error_report(
-        hmodel.query_pairs(val_pairs), val_phi
-    ).mean_rel
+
+        def attempt(
+            lr_scale: float,
+            _pairs: np.ndarray = pairs,
+            _phi: np.ndarray = phi,
+            _schedule: np.ndarray = schedule,
+            _name: str = name,
+        ) -> TrainResult:
+            return train_hierarchical(
+                hmodel,
+                _pairs,
+                _phi,
+                _schedule,
+                config.train_config(config.hier_epochs, lr=config.lr * lr_scale),
+                rng,
+                adam_states=adam,
+                on_epoch=abort_on_nonfinite(_name),
+            )
+
+        history.train_results[name] = run_stage(name, attempt)
+        if focus == hierarchy.num_subgraph_levels - 1:
+            history.phase_errors["after_hierarchy"] = error_report(
+                hmodel.query_pairs(val_pairs), val_phi
+            ).mean_rel
+        checkpoint(name)
 
     # Phase 2: vertex embedding on landmark samples, coarse levels frozen.
-    landmarks = select_landmarks(
-        graph,
-        min(config.num_landmarks, graph.n),
-        strategy=config.landmark_strategy,
-        seed=rng,
-    )
-    pairs, phi = landmark_samples(graph, landmarks, config.vertex_samples, labeler, rng)
-    res = train_hierarchical(
-        hmodel,
-        pairs,
-        phi,
-        vertex_only_schedule(hmodel.num_levels),
-        config.train_config(config.vertex_epochs),
-        rng,
-        adam_states=adam,
-    )
-    history.train_results["vertex"] = res
-    history.phase_errors["after_vertex"] = error_report(
-        hmodel.query_pairs(val_pairs), val_phi
-    ).mean_rel
+    if pending("vertex"):
+        landmarks = select_landmarks(
+            graph,
+            min(config.num_landmarks, graph.n),
+            strategy=config.landmark_strategy,
+            seed=rng,
+        )
+        pairs, phi = landmark_samples(
+            graph, landmarks, config.vertex_samples, labeler, rng
+        )
+
+        def attempt_vertex(
+            lr_scale: float, _pairs: np.ndarray = pairs, _phi: np.ndarray = phi
+        ) -> TrainResult:
+            return train_hierarchical(
+                hmodel,
+                _pairs,
+                _phi,
+                vertex_only_schedule(hmodel.num_levels),
+                config.train_config(config.vertex_epochs, lr=config.lr * lr_scale),
+                rng,
+                adam_states=adam,
+                on_epoch=abort_on_nonfinite("vertex"),
+            )
+
+        history.train_results["vertex"] = run_stage("vertex", attempt_vertex)
+        history.phase_errors["after_vertex"] = error_report(
+            hmodel.query_pairs(val_pairs), val_phi
+        ).mean_rel
+        checkpoint("vertex")
 
     # Phase 2.5: joint all-level polish on random pairs.
-    if config.joint_epochs > 0:
+    if config.joint_epochs > 0 and pending("joint"):
         pairs, phi = random_pair_samples(graph, config.joint_samples, labeler, rng)
-        res = train_hierarchical(
-            hmodel,
-            pairs,
-            phi,
-            np.full(hmodel.num_levels, config.joint_lr_weight, dtype=np.float64),
-            config.train_config(config.joint_epochs),
-            rng,
-            adam_states=adam,
-        )
-        history.train_results["joint"] = res
+
+        def attempt_joint(
+            lr_scale: float, _pairs: np.ndarray = pairs, _phi: np.ndarray = phi
+        ) -> TrainResult:
+            return train_hierarchical(
+                hmodel,
+                _pairs,
+                _phi,
+                np.full(hmodel.num_levels, config.joint_lr_weight, dtype=np.float64),
+                config.train_config(config.joint_epochs, lr=config.lr * lr_scale),
+                rng,
+                adam_states=adam,
+                on_epoch=abort_on_nonfinite("joint"),
+            )
+
+        history.train_results["joint"] = run_stage("joint", attempt_joint)
         history.phase_errors["after_joint"] = error_report(
             hmodel.query_pairs(val_pairs), val_phi
         ).mean_rel
+        checkpoint("joint")
 
     # Phase 3: active fine-tuning on grid buckets.
     if config.active:
         if graph.coords is None:
-            history.notes.append("graph has no coordinates: fine-tuning skipped")
-        else:
+            note = "graph has no coordinates: fine-tuning skipped"
+            if note not in history.notes:
+                history.notes.append(note)
+        elif pending("finetune"):
             buckets = GridBuckets(graph, config.grid_k, seed=rng)
-            history.finetune = active_finetune(
-                hmodel,
-                buckets,
-                labeler,
-                val_pairs,
-                val_phi,
-                rounds=config.finetune_rounds,
-                samples_per_round=config.finetune_samples,
-                mode=config.finetune_mode,
-                config=config.train_config(2, lr=config.lr / 2),
-                seed=rng,
+
+            def attempt_finetune(lr_scale: float) -> FinetuneResult:
+                return active_finetune(
+                    hmodel,
+                    buckets,
+                    labeler,
+                    val_pairs,
+                    val_phi,
+                    rounds=config.finetune_rounds,
+                    samples_per_round=config.finetune_samples,
+                    mode=config.finetune_mode,
+                    config=config.train_config(2, lr=config.lr / 2 * lr_scale),
+                    seed=rng,
+                )
+
+            history.finetune = run_stage(
+                "finetune",
+                attempt_finetune,
+                history_of=lambda r: r.mean_rel_errors,
             )
             history.phase_errors["after_finetune"] = history.finetune.mean_rel_errors[-1]
+            checkpoint("finetune")
 
     return hmodel.to_model(), hierarchy
 
@@ -376,6 +622,9 @@ def _build_flat(
     val_pairs: np.ndarray,
     val_phi: np.ndarray,
     mean_phi: float,
+    *,
+    manager: CheckpointManager | None = None,
+    resume: bool = False,
 ) -> tuple[RNEModel, PartitionHierarchy | None]:
     """RNE-Naive: flat table, random pairs, no structural help."""
     model = RNEModel.random(
@@ -385,32 +634,91 @@ def _build_flat(
         scale=_init_scale(mean_phi, config.d),
         seed=rng,
     )
-    total = (
-        config.hier_samples_per_level + config.vertex_samples
-    )  # same sample budget as the hierarchical arm, for fair ablations
-    pairs, phi = random_pair_samples(graph, total, labeler, rng)
-    res = train_flat(
-        model, pairs, phi,
-        config.train_config(config.hier_epochs + config.vertex_epochs), rng,
-    )
-    history.train_results["flat"] = res
-    history.phase_errors["after_flat"] = error_report(
-        model.query_pairs(val_pairs), val_phi
-    ).mean_rel
 
-    if config.active and graph.coords is not None:
-        buckets = GridBuckets(graph, config.grid_k, seed=rng)
-        history.finetune = active_finetune(
-            model,
-            buckets,
-            labeler,
-            val_pairs,
-            val_phi,
-            rounds=config.finetune_rounds,
-            samples_per_round=config.finetune_samples,
-            mode=config.finetune_mode,
-            config=config.train_config(2, lr=config.lr / 4),
-            seed=rng,
+    stage_names = ["flat"]
+    run_finetune = config.active and graph.coords is not None
+    if run_finetune:
+        stage_names.append("finetune")
+
+    resume_step = -1
+    if manager is not None and resume:
+        # No persisted Adam state: train_flat creates its own optimiser per
+        # call, so stage-boundary resume is exact without it.
+        resume_step = _restore_latest(
+            manager, stage_names, [model.matrix], None, rng, history
         )
+
+    def snapshot() -> tuple[Any, ...]:
+        return (model.matrix.copy(), rng_state(rng))
+
+    def restore(snap: tuple[Any, ...]) -> None:
+        saved, rstate = snap
+        model.matrix[...] = saved
+        restore_rng(rng, rstate)
+
+    def checkpoint(name: str) -> None:
+        if manager is None:
+            return
+        arrays, meta = pack_state([model.matrix])
+        meta["rng_state"] = rng_state(rng)
+        meta.update(_serialize_history(history))
+        manager.save(name, arrays, meta, step=stage_names.index(name))
+
+    if resume_step < 0:
+        total = (
+            config.hier_samples_per_level + config.vertex_samples
+        )  # same sample budget as the hierarchical arm, for fair ablations
+        pairs, phi = random_pair_samples(graph, total, labeler, rng)
+
+        def attempt_flat(
+            lr_scale: float, _pairs: np.ndarray = pairs, _phi: np.ndarray = phi
+        ) -> TrainResult:
+            return train_flat(
+                model,
+                _pairs,
+                _phi,
+                config.train_config(
+                    config.hier_epochs + config.vertex_epochs,
+                    lr=config.lr * lr_scale,
+                ),
+                rng,
+                on_epoch=abort_on_nonfinite("flat"),
+            )
+
+        outcome = run_with_recovery(attempt_flat, snapshot, restore, stage="flat")
+        history.notes.extend(outcome.notes)
+        history.train_results["flat"] = outcome.result
+        history.phase_errors["after_flat"] = error_report(
+            model.query_pairs(val_pairs), val_phi
+        ).mean_rel
+        checkpoint("flat")
+
+    if run_finetune and resume_step < stage_names.index("finetune"):
+        buckets = GridBuckets(graph, config.grid_k, seed=rng)
+
+        def attempt_finetune(lr_scale: float) -> FinetuneResult:
+            return active_finetune(
+                model,
+                buckets,
+                labeler,
+                val_pairs,
+                val_phi,
+                rounds=config.finetune_rounds,
+                samples_per_round=config.finetune_samples,
+                mode=config.finetune_mode,
+                config=config.train_config(2, lr=config.lr / 4 * lr_scale),
+                seed=rng,
+            )
+
+        outcome = run_with_recovery(
+            attempt_finetune,
+            snapshot,
+            restore,
+            stage="finetune",
+            history_of=lambda r: r.mean_rel_errors,
+        )
+        history.notes.extend(outcome.notes)
+        history.finetune = outcome.result
         history.phase_errors["after_finetune"] = history.finetune.mean_rel_errors[-1]
+        checkpoint("finetune")
     return model, None

@@ -28,7 +28,12 @@ behaviour does not depend on the map's units or the training phase.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Callable, Iterator, List, Optional
+
+#: Per-epoch observer hook: ``on_epoch(epoch, mse, mean_rel_error)``.
+#: Used by the reliability layer for divergence aborts and checkpoint
+#: bookkeeping; any exception it raises stops the training call.
+EpochHook = Callable[[int, float, float], None]
 
 import numpy as np
 
@@ -97,6 +102,14 @@ class _Adam:
         v_hat = self.v[rows] / (1 - self.beta2**self.t)
         return -lr * m_hat / (np.sqrt(v_hat) + 1e-8)
 
+    def clone(self) -> "_Adam":
+        """Deep copy of moments and step counter (checkpoint snapshots)."""
+        other = _Adam(self.m.shape, beta1=self.beta1, beta2=self.beta2)
+        other.m = self.m.copy()
+        other.v = self.v.copy()
+        other.t = self.t
+        return other
+
 
 def _epoch_batches(
     n_samples: int, batch_size: int, shuffle: bool, rng: np.random.Generator
@@ -143,6 +156,8 @@ def train_flat(
     phi: np.ndarray,
     config: TrainConfig,
     rng: np.random.Generator | int | None = None,
+    *,
+    on_epoch: Optional[EpochHook] = None,
 ) -> TrainResult:
     """Train a flat embedding table in place (paper's Function *Training*)."""
     rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
@@ -160,7 +175,7 @@ def train_flat(
         probe = slice(0, min(len(pairs), 2048))
         lr *= _adam_lr_scale(model.query_pairs(pairs[probe]), phi[probe])
 
-    for _ in range(config.epochs):
+    for epoch in range(config.epochs):
         sq_sum = 0.0
         rel_sum = 0.0
         # perf: loop-ok (one iteration per batch, each fully vectorised)
@@ -186,6 +201,8 @@ def train_flat(
             del pred
         result.mse.append(sq_sum / len(pairs))
         result.mean_rel_error.append(rel_sum / len(pairs))
+        if on_epoch is not None:
+            on_epoch(epoch, result.mse[-1], result.mean_rel_error[-1])
     return result
 
 
@@ -199,6 +216,7 @@ def train_hierarchical(
     rng: np.random.Generator | int | None = None,
     *,
     adam_states: list[_Adam] | None = None,
+    on_epoch: Optional[EpochHook] = None,
 ) -> TrainResult:
     """Train hierarchy local embeddings in place (Function *TrainingHier*).
 
@@ -230,7 +248,7 @@ def train_hierarchical(
     anc = hmodel.hierarchy.anc_rows
     active = [l for l in range(hmodel.num_levels) if level_lrs[l] > 0]
 
-    for _ in range(config.epochs):
+    for epoch in range(config.epochs):
         sq_sum = 0.0
         rel_sum = 0.0
         # perf: loop-ok (one iteration per batch, each fully vectorised)
@@ -266,12 +284,19 @@ def train_hierarchical(
                     hmodel.locals[level][rows] -= config.lr * level_lrs[level] * full
         result.mse.append(sq_sum / len(pairs))
         result.mean_rel_error.append(rel_sum / len(pairs))
+        if on_epoch is not None:
+            on_epoch(epoch, result.mse[-1], result.mean_rel_error[-1])
     return result
 
 
 def new_adam_states(hmodel: HierarchicalRNE) -> list[_Adam]:
     """Fresh Adam state per level, for threading through multiple calls."""
     return [_Adam(m.shape) for m in hmodel.locals]
+
+
+def clone_adam_states(states: List[_Adam]) -> List[_Adam]:
+    """Deep-copied optimiser states (pre-stage snapshots for rollback)."""
+    return [state.clone() for state in states]
 
 
 def level_schedule(focus: int, num_levels: int, *, alpha0: float = 1.0) -> np.ndarray:

@@ -15,7 +15,22 @@ from typing import TextIO
 
 import numpy as np
 
+from ..reliability.artifacts import (
+    ArtifactError,
+    load_artifact,
+    save_artifact,
+    validate_embedding_payload,
+)
 from .graph import Graph, GraphError
+
+
+def _check_dimacs_id(vertex: int, n: int, lineno: int, line: str) -> None:
+    """1-based DIMACS vertex ids must lie in ``[1, n]``; blame the line."""
+    if not (1 <= vertex <= n):
+        raise GraphError(
+            f"vertex id {vertex} out of range [1, {n}] "
+            f"at line {lineno}: {line.rstrip()!r}"
+        )
 
 
 def load_dimacs(gr_path: str | os.PathLike, co_path: str | os.PathLike | None = None) -> Graph:
@@ -23,12 +38,15 @@ def load_dimacs(gr_path: str | os.PathLike, co_path: str | os.PathLike | None = 
 
     DIMACS vertex ids are 1-based; they are shifted to 0-based.  Arcs appear
     in both directions in the files; duplicates collapse to the minimum
-    weight inside :class:`Graph`.
+    weight inside :class:`Graph`.  Arc and coordinate vertex ids are
+    validated against the problem line's ``n`` as they are read, so a bad
+    file fails with the offending line instead of a downstream
+    ``IndexError`` (or a silently wrapped-around coordinate).
     """
     n = None
     edges: list[tuple[int, int, float]] = []
     with open(gr_path, "r", encoding="utf-8") as fh:
-        for line in fh:
+        for lineno, line in enumerate(fh, 1):
             tag = line[:1]
             if tag == "c" or not line.strip():
                 continue
@@ -37,11 +55,22 @@ def load_dimacs(gr_path: str | os.PathLike, co_path: str | os.PathLike | None = 
                 if len(parts) < 4:
                     raise GraphError(f"bad DIMACS problem line: {line!r}")
                 n = int(parts[2])
+                if n < 1:
+                    raise GraphError(
+                        f"problem line declares n={n} at line {lineno}: {line.rstrip()!r}"
+                    )
             elif tag == "a":
                 parts = line.split()
                 if len(parts) != 4:
                     raise GraphError(f"bad DIMACS arc line: {line!r}")
-                edges.append((int(parts[1]) - 1, int(parts[2]) - 1, float(parts[3])))
+                if n is None:
+                    raise GraphError(
+                        f"arc line before the 'p' problem line at line {lineno}"
+                    )
+                u, v = int(parts[1]), int(parts[2])
+                _check_dimacs_id(u, n, lineno, line)
+                _check_dimacs_id(v, n, lineno, line)
+                edges.append((u - 1, v - 1, float(parts[3])))
             else:
                 raise GraphError(f"unrecognised DIMACS line: {line!r}")
     if n is None:
@@ -51,13 +80,15 @@ def load_dimacs(gr_path: str | os.PathLike, co_path: str | os.PathLike | None = 
     if co_path is not None:
         coords = np.zeros((n, 2), dtype=np.float64)
         with open(co_path, "r", encoding="utf-8") as fh:
-            for line in fh:
+            for lineno, line in enumerate(fh, 1):
                 if line[:1] != "v":
                     continue
                 parts = line.split()
                 if len(parts) != 4:
                     raise GraphError(f"bad DIMACS coordinate line: {line!r}")
-                coords[int(parts[1]) - 1] = (float(parts[2]), float(parts[3]))
+                vertex = int(parts[1])
+                _check_dimacs_id(vertex, n, lineno, line)
+                coords[vertex - 1] = (float(parts[2]), float(parts[3]))
     return Graph(n, edges, coords=coords)
 
 
@@ -110,11 +141,33 @@ def save_edge_list(graph: Graph, path: str | os.PathLike) -> None:
 
 
 def save_embedding(path: str | os.PathLike, matrix: np.ndarray, *, p: float = 1.0) -> None:
-    """Persist an embedding matrix with its metric order ``p`` to ``.npz``."""
-    np.savez_compressed(path, matrix=matrix, p=np.float64(p))
+    """Persist an embedding matrix with its metric order ``p`` to ``.npz``.
+
+    Written through the reliability artifact layer: the write is atomic and
+    the file carries a manifest with per-array checksums, so a truncated or
+    bit-flipped file is rejected at load time.
+    """
+    save_artifact(
+        path,
+        {"matrix": np.asarray(matrix), "p": np.float64(p)},
+        kind="embedding",
+    )
 
 
-def load_embedding(path: str | os.PathLike) -> tuple[np.ndarray, float]:
-    """Load an embedding saved by :func:`save_embedding`."""
-    with np.load(path) as data:
-        return np.array(data["matrix"]), float(data["p"])
+def load_embedding(
+    path: str | os.PathLike, *, expect_n: int | None = None
+) -> tuple[np.ndarray, float]:
+    """Load and validate an embedding saved by :func:`save_embedding`.
+
+    Beyond the artifact layer's integrity checks, the payload itself is
+    validated: the matrix must be 2-d and finite, ``p`` must be a finite
+    scalar ``>= 1``, and — when ``expect_n`` is given — the row count must
+    match the graph it will serve.  Violations raise
+    :class:`~repro.reliability.artifacts.ArtifactError`.
+    """
+    arrays, _ = load_artifact(path, expect_kind="embedding")
+    if "matrix" not in arrays or "p" not in arrays:
+        raise ArtifactError(f"{os.fspath(path)}: embedding artifact is missing arrays")
+    return validate_embedding_payload(
+        path, arrays["matrix"], arrays["p"], expect_n=expect_n
+    )

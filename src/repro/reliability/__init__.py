@@ -1,0 +1,63 @@
+"""Reliability layer: crash-safe artifacts, resumable training, degradation.
+
+Four cooperating pieces (see ``docs/RELIABILITY.md``):
+
+* :mod:`~repro.reliability.artifacts` — atomic ``.npz`` artifacts with a
+  JSON manifest, per-array CRC32 checksums and a graph fingerprint, so a
+  truncated / bit-flipped / wrong-graph file raises :class:`ArtifactError`
+  instead of silently mis-answering queries.
+* :mod:`~repro.reliability.checkpoint` — per-stage training checkpoints
+  with resume-from-latest and divergence rollback.
+* :mod:`~repro.reliability.faults` — a deterministic fault-injection
+  harness the tests use to prove atomicity and resume actually work.
+* :mod:`~repro.reliability.fallback` — :class:`ResilientOracle`, a serving
+  wrapper that validates the artifact against the live graph and falls
+  back to exact Dijkstra when validation fails.
+
+Exports are resolved lazily (PEP 562) so that low-level modules
+(``graph/io.py`` imports :mod:`.artifacts`) never drag the serving layer —
+and with it ``repro.core`` — into their import chain.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Any
+
+_EXPORTS = {
+    # artifacts
+    "ArtifactError": ".artifacts",
+    "SCHEMA_VERSION": ".artifacts",
+    "graph_fingerprint": ".artifacts",
+    "load_artifact": ".artifacts",
+    "save_artifact": ".artifacts",
+    # checkpoint
+    "CheckpointManager": ".checkpoint",
+    "RetryPolicy": ".checkpoint",
+    "StageOutcome": ".checkpoint",
+    "TrainingDiverged": ".checkpoint",
+    "diverged": ".checkpoint",
+    "run_with_recovery": ".checkpoint",
+    # faults
+    "FaultInjector": ".faults",
+    "InjectedFault": ".faults",
+    "corrupt_file": ".faults",
+    "installed": ".faults",
+    "truncate_file": ".faults",
+    # fallback
+    "OracleStats": ".fallback",
+    "ResilientOracle": ".fallback",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str) -> Any:
+    module = _EXPORTS.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    return getattr(importlib.import_module(module, __name__), name)
+
+
+def __dir__() -> list[str]:
+    return __all__

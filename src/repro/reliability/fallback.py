@@ -1,0 +1,217 @@
+"""Graceful-degradation serving: learned answers when safe, exact otherwise.
+
+Learned distance oracles give no per-query guarantees — a stale or corrupt
+embedding answers *confidently and wrongly*.  :class:`ResilientOracle`
+closes that hole for serving:
+
+* at construction it loads the RNE artifact through the validating
+  artifact layer (checksums + graph fingerprint) and optionally probes the
+  model's error on sampled pairs against exact Dijkstra ground truth;
+* if the artifact is rejected, or the probed mean relative error exceeds
+  the caller's bound, the oracle *degrades*: every query is served by the
+  exact algorithms instead, and counters record the fallback rate so
+  operators can alarm on it;
+* healthy oracles serve O(d) learned answers with zero added overhead
+  beyond one counter increment.
+
+Degradation is all-or-nothing by design: per-query error detection would
+require the exact answer per query, which is exactly the cost the learned
+index exists to avoid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..algorithms.dijkstra import bidirectional_dijkstra, dijkstra, pair_distances
+from ..core.pipeline import RNE
+from ..graph import Graph
+from .artifacts import ArtifactError
+
+__all__ = ["OracleStats", "ResilientOracle"]
+
+
+@dataclass
+class OracleStats:
+    """Serving counters: how often the exact fallback carried a query."""
+
+    model_queries: int = 0
+    fallback_queries: int = 0
+    degraded: bool = False
+    degraded_reason: Optional[str] = None
+    probe_mean_rel_error: Optional[float] = None
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def total_queries(self) -> int:
+        return self.model_queries + self.fallback_queries
+
+    @property
+    def fallback_rate(self) -> float:
+        total = self.total_queries
+        return self.fallback_queries / total if total else 0.0
+
+
+class ResilientOracle:
+    """Distance oracle that falls back to exact search when trust is lost.
+
+    Parameters
+    ----------
+    graph:
+        The live road network queries refer to.  This is the source of
+        truth; the artifact must prove it belongs to it.
+    artifact_path:
+        A saved :class:`~repro.core.pipeline.RNE` artifact.  Corrupt,
+        truncated, or wrong-graph artifacts degrade the oracle instead of
+        raising.
+    rne:
+        Alternatively, an already-loaded (trusted) RNE.
+    error_bound:
+        Optional mean-relative-error budget.  When set, ``probe_pairs``
+        random pairs are labelled exactly and the model must beat the
+        bound, else the oracle degrades.
+    probe_pairs:
+        Number of validation pairs for the error probe.
+    seed:
+        Seed for the probe-pair sample (determinism contract of the repo).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        artifact_path: Optional[str] = None,
+        *,
+        rne: Optional[RNE] = None,
+        error_bound: Optional[float] = None,
+        probe_pairs: int = 64,
+        seed: int = 0,
+    ) -> None:
+        if (artifact_path is None) == (rne is None):
+            raise ValueError("provide exactly one of artifact_path or rne")
+        if error_bound is not None and error_bound <= 0:
+            raise ValueError(f"error_bound must be > 0, got {error_bound}")
+        self.graph = graph
+        self.stats = OracleStats()
+        self.rne: Optional[RNE] = rne
+        self.error_bound = error_bound
+        if artifact_path is not None:
+            try:
+                self.rne = RNE.load(artifact_path, graph)
+            except ArtifactError as exc:
+                self._degrade(f"artifact rejected: {exc}")
+        if self.rne is not None and error_bound is not None:
+            self._probe(probe_pairs, seed)
+
+    # ------------------------------------------------------------------
+    # health management
+    # ------------------------------------------------------------------
+    def _degrade(self, reason: str) -> None:
+        self.rne = None
+        self.stats.degraded = True
+        self.stats.degraded_reason = reason
+        self.stats.notes.append(reason)
+
+    def _probe(self, probe_pairs: int, seed: int) -> None:
+        """Compare the model against exact distances on sampled pairs."""
+        if probe_pairs < 1:
+            raise ValueError(f"probe_pairs must be >= 1, got {probe_pairs}")
+        rne = self.rne
+        if rne is None:  # pragma: no cover - guarded by the caller
+            return
+        rng = np.random.default_rng(seed)
+        pairs = rng.integers(0, self.graph.n, size=(probe_pairs, 2))
+        exact = pair_distances(self.graph, pairs)
+        ok = np.isfinite(exact) & (exact > 0)
+        if not ok.any():
+            self.stats.notes.append("error probe skipped: no reachable pairs")
+            return
+        model = rne.query_pairs(pairs[ok])
+        mean_rel = float(np.mean(np.abs(model - exact[ok]) / exact[ok]))
+        self.stats.probe_mean_rel_error = mean_rel
+        if self.error_bound is not None and mean_rel > self.error_bound:
+            self._degrade(
+                f"probed mean relative error {mean_rel:.4f} exceeds "
+                f"bound {self.error_bound:.4f}"
+            )
+
+    @property
+    def healthy(self) -> bool:
+        """Whether queries are currently served by the learned model."""
+        return self.rne is not None
+
+    # ------------------------------------------------------------------
+    # queries — learned when healthy, exact otherwise
+    # ------------------------------------------------------------------
+    def query(self, s: int, t: int) -> float:
+        """Point-to-point distance; exact bidirectional Dijkstra on fallback."""
+        if self.rne is not None:
+            self.stats.model_queries += 1
+            return self.rne.query(s, t)
+        self.stats.fallback_queries += 1
+        return bidirectional_dijkstra(self.graph, int(s), int(t))
+
+    def query_pairs(self, pairs: np.ndarray) -> np.ndarray:
+        """Batched distances; exact grouped SSSP on fallback."""
+        pairs = np.asarray(pairs, dtype=np.int64)
+        if self.rne is not None:
+            self.stats.model_queries += pairs.shape[0]
+            return self.rne.query_pairs(pairs)
+        self.stats.fallback_queries += pairs.shape[0]
+        return pair_distances(self.graph, pairs)
+
+    def range_query(self, source: int, targets: np.ndarray, tau: float) -> np.ndarray:
+        """Targets within ``tau`` of ``source``; exact network distances on fallback."""
+        targets = np.asarray(targets, dtype=np.int64)
+        if self.rne is not None:
+            self.stats.model_queries += 1
+            return self.rne.range_query(source, targets, tau)
+        if tau < 0:
+            raise ValueError(f"tau must be >= 0, got {tau}")
+        self.stats.fallback_queries += 1
+        dist = self._sssp(source)
+        return np.sort(targets[dist[targets] <= tau])
+
+    def knn(self, source: int, targets: np.ndarray, k: int) -> np.ndarray:
+        """k nearest targets; exact on fallback."""
+        targets = np.asarray(targets, dtype=np.int64)
+        if self.rne is not None:
+            self.stats.model_queries += 1
+            return self.rne.knn(source, targets, k)
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.stats.fallback_queries += 1
+        dist = self._sssp(source)
+        order = np.argsort(dist[targets], kind="stable")
+        return targets[order[: min(k, targets.size)]]
+
+    def knn_join(self, sources: np.ndarray, targets: np.ndarray, k: int) -> np.ndarray:
+        """k nearest targets per source; one exact SSSP per source on fallback."""
+        sources = np.asarray(sources, dtype=np.int64)
+        targets = np.asarray(targets, dtype=np.int64)
+        if self.rne is not None:
+            self.stats.model_queries += sources.size
+            return self.rne.knn_join(sources, targets, k)
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.stats.fallback_queries += sources.size
+        k_eff = min(k, targets.size)
+        out = np.empty((sources.size, k_eff), dtype=np.int64)
+        for row, source in enumerate(sources):
+            dist = self._sssp(int(source))
+            order = np.argsort(dist[targets], kind="stable")
+            out[row] = targets[order[:k_eff]]
+        return out
+
+    def _sssp(self, source: int) -> np.ndarray:
+        dist = dijkstra(self.graph, int(source))
+        return np.asarray(dist, dtype=np.float64)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        mode = "model" if self.healthy else "fallback"
+        return (
+            f"ResilientOracle(mode={mode}, "
+            f"fallback_rate={self.stats.fallback_rate:.3f})"
+        )

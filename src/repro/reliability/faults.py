@@ -1,0 +1,138 @@
+"""Deterministic fault injection for crash-safety and recovery tests.
+
+The artifact and checkpoint layers announce their irreversible IO steps by
+calling :func:`fire` with a stable event name (``"artifact.pre_replace"``,
+``"checkpoint.saved"``, ...).  In production no injector is installed and
+:func:`fire` is a single ``is None`` check.  Under test, an installed
+:class:`FaultInjector` either records the event stream (to enumerate every
+crash boundary of a run) or raises :class:`InjectedFault` at a chosen
+occurrence of a chosen event — a ``kill -9`` stand-in that aborts the
+process mid-operation at a precisely reproducible point.
+
+File corruption helpers (:func:`corrupt_file`, :func:`truncate_file`) are
+seeded and byte-deterministic so a failing corruption test replays exactly.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "FaultInjector",
+    "InjectedFault",
+    "corrupt_file",
+    "fire",
+    "installed",
+    "truncate_file",
+]
+
+
+class InjectedFault(RuntimeError):
+    """A simulated crash / IO failure raised by the fault harness.
+
+    Deliberately *not* an ``OSError`` subclass: production code must never
+    accidentally swallow it in an IO-retry path — it models the process
+    dying, and tests expect it to propagate to the very top.
+    """
+
+
+@dataclass
+class FaultInjector:
+    """Records reliability events and optionally crashes at one of them.
+
+    Parameters
+    ----------
+    crash_at:
+        Mapping ``event name -> occurrence number`` (1-based).  When the
+        n-th :func:`fire` of that event happens, :class:`InjectedFault` is
+        raised.  An empty mapping makes the injector a pure recorder.
+    """
+
+    crash_at: Dict[str, int] = field(default_factory=dict)
+    log: List[Tuple[str, str]] = field(default_factory=list)
+    _counts: Dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def recorder(cls) -> "FaultInjector":
+        """An injector that only records the event stream."""
+        return cls()
+
+    @classmethod
+    def crash_on(cls, event: str, occurrence: int = 1) -> "FaultInjector":
+        """An injector that crashes at the ``occurrence``-th ``event``."""
+        if occurrence < 1:
+            raise ValueError(f"occurrence must be >= 1, got {occurrence}")
+        return cls(crash_at={event: occurrence})
+
+    def on_event(self, event: str, detail: str) -> None:
+        self.log.append((event, detail))
+        count = self._counts.get(event, 0) + 1
+        self._counts[event] = count
+        if self.crash_at.get(event) == count:
+            raise InjectedFault(
+                f"injected crash at occurrence {count} of '{event}' ({detail})"
+            )
+
+    def events(self) -> List[str]:
+        """Event names seen so far, in order (details stripped)."""
+        return [event for event, _ in self.log]
+
+
+#: The currently installed injector; ``None`` in production.
+_ACTIVE: Optional[FaultInjector] = None
+
+
+def fire(event: str, detail: str = "") -> None:
+    """Announce a reliability event; crashes if an injector says so."""
+    if _ACTIVE is not None:
+        _ACTIVE.on_event(event, detail)
+
+
+@contextlib.contextmanager
+def installed(injector: FaultInjector) -> Iterator[FaultInjector]:
+    """Install ``injector`` for the duration of the ``with`` block."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = injector
+    try:
+        yield injector
+    finally:
+        _ACTIVE = previous
+
+
+def corrupt_file(path: str | os.PathLike, *, seed: int = 0, nbytes: int = 1) -> None:
+    """Flip ``nbytes`` bytes of ``path`` in place, deterministically.
+
+    Offsets and XOR masks come from a seeded generator, so a given
+    ``(file size, seed)`` always corrupts the same bytes.  Masks are drawn
+    from ``1..255`` so every chosen byte really changes.
+    """
+    if nbytes < 1:
+        raise ValueError(f"nbytes must be >= 1, got {nbytes}")
+    with open(path, "r+b") as fh:
+        fh.seek(0, os.SEEK_END)
+        size = fh.tell()
+        if size == 0:
+            raise ValueError(f"cannot corrupt empty file {os.fspath(path)!r}")
+        rng = np.random.default_rng(seed)
+        offsets = rng.integers(0, size, size=nbytes)
+        masks = rng.integers(1, 256, size=nbytes)
+        for offset, mask in zip(offsets, masks):
+            fh.seek(int(offset))
+            byte = fh.read(1)[0]
+            fh.seek(int(offset))
+            fh.write(bytes([byte ^ int(mask)]))
+
+
+def truncate_file(path: str | os.PathLike, *, fraction: float = 0.5) -> None:
+    """Truncate ``path`` to ``fraction`` of its size (a torn write)."""
+    if not (0.0 <= fraction < 1.0):
+        raise ValueError(f"fraction must be in [0, 1), got {fraction}")
+    size = os.path.getsize(path)
+    with open(path, "r+b") as fh:
+        fh.truncate(int(size * fraction))

@@ -12,6 +12,8 @@ from repro.graph.io import (
     save_edge_list,
     save_embedding,
 )
+from repro.reliability import ArtifactError
+from repro.reliability.faults import corrupt_file, truncate_file
 
 
 class TestDimacs:
@@ -63,6 +65,38 @@ class TestDimacs:
         with pytest.raises(GraphError):
             save_dimacs(g, tmp_path / "g.gr", tmp_path / "g.co")
 
+    def test_arc_vertex_id_above_n(self, tmp_path):
+        path = tmp_path / "g.gr"
+        path.write_text("p sp 2 1\na 1 3 5.0\n")
+        with pytest.raises(GraphError, match=r"out of range \[1, 2\] at line 2"):
+            load_dimacs(path)
+
+    def test_arc_vertex_id_zero(self, tmp_path):
+        path = tmp_path / "g.gr"
+        path.write_text("p sp 2 1\na 0 1 5.0\n")
+        with pytest.raises(GraphError, match="out of range"):
+            load_dimacs(path)
+
+    def test_coordinate_vertex_id_out_of_range(self, tmp_path):
+        gr = tmp_path / "g.gr"
+        gr.write_text("p sp 2 2\na 1 2 5.0\na 2 1 5.0\n")
+        co = tmp_path / "g.co"
+        co.write_text("v 3 0.0 0.0\n")
+        with pytest.raises(GraphError, match="out of range"):
+            load_dimacs(gr, co)
+
+    def test_nonpositive_n_rejected(self, tmp_path):
+        path = tmp_path / "g.gr"
+        path.write_text("p sp 0 0\n")
+        with pytest.raises(GraphError, match="n=0"):
+            load_dimacs(path)
+
+    def test_arc_before_problem_line(self, tmp_path):
+        path = tmp_path / "g.gr"
+        path.write_text("a 1 2 5.0\np sp 2 1\n")
+        with pytest.raises(GraphError, match="before"):
+            load_dimacs(path)
+
 
 class TestEdgeList:
     def test_roundtrip(self, tiny_graph, tmp_path):
@@ -105,3 +139,44 @@ class TestEmbeddingIO:
         save_embedding(path, np.ones((2, 2)), p=2.0)
         _, p = load_embedding(path)
         assert p == 2.0
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        path = tmp_path / "emb.npz"
+        save_embedding(path, np.random.default_rng(0).normal(size=(10, 4)))
+        corrupt_file(path, seed=2, nbytes=8)
+        with pytest.raises(ArtifactError):
+            load_embedding(path)
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = tmp_path / "emb.npz"
+        save_embedding(path, np.ones((10, 4)))
+        truncate_file(path, fraction=0.4)
+        with pytest.raises(ArtifactError):
+            load_embedding(path)
+
+    def test_legacy_npz_rejected(self, tmp_path):
+        path = tmp_path / "emb.npz"
+        np.savez(path, matrix=np.ones((2, 2)), p=1.0)
+        with pytest.raises(ArtifactError, match="manifest"):
+            load_embedding(path)
+
+    def test_expect_n_mismatch(self, tmp_path):
+        path = tmp_path / "emb.npz"
+        save_embedding(path, np.ones((10, 4)))
+        load_embedding(path, expect_n=10)  # matching n passes
+        with pytest.raises(ArtifactError, match="rows"):
+            load_embedding(path, expect_n=11)
+
+    def test_fractional_p_rejected_at_load(self, tmp_path):
+        path = tmp_path / "emb.npz"
+        save_embedding(path, np.ones((2, 2)), p=0.5)
+        with pytest.raises(ArtifactError, match="p"):
+            load_embedding(path)
+
+    def test_nonfinite_matrix_rejected(self, tmp_path):
+        path = tmp_path / "emb.npz"
+        matrix = np.ones((3, 2))
+        matrix[1, 1] = np.nan
+        save_embedding(path, matrix)
+        with pytest.raises(ArtifactError, match="NaN"):
+            load_embedding(path)

@@ -1,0 +1,28 @@
+"""Shared fixtures for the reliability suite: a fast build on a small grid."""
+
+import pytest
+
+from repro.core import RNEConfig, build_rne
+from repro.graph.generators import grid_city
+
+
+@pytest.fixture(scope="session")
+def rel_graph():
+    return grid_city(6, 6, seed=3)
+
+
+@pytest.fixture(scope="session")
+def rel_config():
+    return RNEConfig(
+        d=8, hier_samples_per_level=800, hier_epochs=2,
+        vertex_samples=1500, vertex_epochs=2, num_landmarks=12,
+        joint_epochs=1, joint_samples=800,
+        finetune_rounds=1, finetune_samples=500,
+        validation_size=200, seed=0,
+    )
+
+
+@pytest.fixture(scope="session")
+def rel_rne(rel_graph, rel_config):
+    """One uninterrupted reference build, shared across the suite."""
+    return build_rne(rel_graph, rel_config)

@@ -1,0 +1,252 @@
+"""Tests for checkpoint state packing, the manager, and divergence recovery."""
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph
+from repro.reliability import (
+    ArtifactError,
+    CheckpointManager,
+    RetryPolicy,
+    TrainingDiverged,
+    diverged,
+    run_with_recovery,
+)
+from repro.reliability.checkpoint import (
+    abort_on_nonfinite,
+    pack_state,
+    restore_rng,
+    rng_state,
+    unpack_state,
+)
+from repro.reliability.faults import corrupt_file
+
+
+class FakeAdam:
+    """Duck-typed optimiser state (.m / .v / .t), like training._Adam."""
+
+    def __init__(self, shape, t=0):
+        self.m = np.zeros(shape, dtype=np.float64)
+        self.v = np.zeros(shape, dtype=np.float64)
+        self.t = t
+
+
+class TestStatePacking:
+    def test_roundtrip_with_adam(self, rng):
+        matrices = [rng.normal(size=(4, 2)), rng.normal(size=(3, 2))]
+        adam = [FakeAdam((4, 2), t=7), FakeAdam((3, 2), t=7)]
+        adam[0].m[:] = 0.5
+        arrays, meta = pack_state(matrices, adam)
+
+        fresh_m = [np.zeros((4, 2)), np.zeros((3, 2))]
+        fresh_a = [FakeAdam((4, 2)), FakeAdam((3, 2))]
+        unpack_state(arrays, meta, fresh_m, fresh_a)
+        for got, want in zip(fresh_m, matrices):
+            np.testing.assert_array_equal(got, want)
+        assert fresh_a[0].t == 7
+        np.testing.assert_array_equal(fresh_a[0].m, adam[0].m)
+
+    def test_level_count_mismatch(self, rng):
+        arrays, meta = pack_state([rng.normal(size=(4, 2))])
+        with pytest.raises(ArtifactError, match="levels"):
+            unpack_state(arrays, meta, [np.zeros((4, 2)), np.zeros((3, 2))])
+
+    def test_shape_mismatch(self, rng):
+        arrays, meta = pack_state([rng.normal(size=(4, 2))])
+        with pytest.raises(ArtifactError, match="shape"):
+            unpack_state(arrays, meta, [np.zeros((5, 2))])
+
+    def test_missing_adam_counters(self, rng):
+        arrays, meta = pack_state([rng.normal(size=(4, 2))])  # no adam saved
+        with pytest.raises(ArtifactError, match="Adam"):
+            unpack_state(arrays, meta, [np.zeros((4, 2))], [FakeAdam((4, 2))])
+
+    def test_rng_state_roundtrip_is_json_safe(self):
+        import json
+
+        rng = np.random.default_rng(42)
+        rng.normal(size=10)
+        state = json.loads(json.dumps(rng_state(rng)))
+        expected = rng.normal(size=5)
+        replay = np.random.default_rng(0)
+        restore_rng(replay, state)
+        np.testing.assert_array_equal(replay.normal(size=5), expected)
+
+
+class TestCheckpointManager:
+    def test_save_load_roundtrip(self, tmp_path, rng):
+        mgr = CheckpointManager(tmp_path)
+        arrays, meta = pack_state([rng.normal(size=(4, 2))])
+        meta["extra"] = [1, 2]
+        mgr.save("vertex", arrays, meta, step=3)
+        back, back_meta = mgr.load("vertex")
+        np.testing.assert_array_equal(back["local_0"], arrays["local_0"])
+        assert back_meta["step"] == 3
+        assert back_meta["stage"] == "vertex"
+        assert back_meta["extra"] == [1, 2]
+
+    @pytest.mark.parametrize("stage", ["", ".hidden", "a/b"])
+    def test_bad_stage_names_rejected(self, tmp_path, stage):
+        with pytest.raises(ValueError):
+            CheckpointManager(tmp_path).path_for(stage)
+
+    def test_latest_picks_highest_step(self, tmp_path, rng):
+        mgr = CheckpointManager(tmp_path)
+        arrays, meta = pack_state([rng.normal(size=(2, 2))])
+        mgr.save("early", arrays, meta, step=0)
+        mgr.save("late", arrays, meta, step=1)
+        stage, _, got_meta = mgr.latest()
+        assert stage == "late"
+        assert got_meta["step"] == 1
+
+    def test_latest_skips_corrupt_and_falls_back(self, tmp_path, rng):
+        mgr = CheckpointManager(tmp_path)
+        arrays, meta = pack_state([rng.normal(size=(2, 2))])
+        mgr.save("early", arrays, meta, step=0)
+        mgr.save("late", arrays, meta, step=1)
+        corrupt_file(mgr.path_for("late"), seed=1, nbytes=8)
+        stage, _, _ = mgr.latest()
+        assert stage == "early"
+        assert len(mgr.skipped) == 1
+        assert "late" in mgr.skipped[0][0]
+
+    def test_latest_empty_directory(self, tmp_path):
+        assert CheckpointManager(tmp_path).latest() is None
+
+    def test_graph_binding(self, tmp_path, rng):
+        g1 = Graph(3, [(0, 1, 1.0), (1, 2, 1.0)])
+        g2 = Graph(3, [(0, 1, 1.0), (1, 2, 2.0)])
+        arrays, meta = pack_state([rng.normal(size=(2, 2))])
+        CheckpointManager(tmp_path, graph=g1).save("s", arrays, meta, step=0)
+        other = CheckpointManager(tmp_path, graph=g2)
+        assert other.latest() is None  # wrong-graph checkpoint is skipped
+        assert len(other.skipped) == 1
+
+    def test_clear(self, tmp_path, rng):
+        mgr = CheckpointManager(tmp_path)
+        arrays, meta = pack_state([rng.normal(size=(2, 2))])
+        mgr.save("s", arrays, meta, step=0)
+        mgr.clear()
+        assert mgr.stages_on_disk() == []
+
+
+class TestDivergenceDetection:
+    def test_empty_and_short_histories_pass(self):
+        assert not diverged([])
+        assert not diverged([1.0])
+
+    def test_nonfinite_always_diverges(self):
+        assert diverged([1.0, float("nan")])
+        assert diverged([float("inf")])
+
+    def test_regression_beyond_factor(self):
+        assert not diverged([1.0, 0.9, 0.8, 1.2])  # noise passes
+        assert diverged([1.0, 0.5, 0.4, 10.0], regression_factor=5.0)
+
+    def test_window_limits_lookback(self):
+        # The ancient low value must fall outside the window.
+        history = [0.01] + [1.0] * 6 + [3.0]
+        assert not diverged(history, regression_factor=5.0, window=5)
+
+    def test_abort_on_nonfinite_hook(self):
+        hook = abort_on_nonfinite("stage-x")
+        hook(0, 1.0, 0.5)  # fine
+        with pytest.raises(TrainingDiverged, match="stage-x"):
+            hook(1, float("nan"), 0.5)
+
+
+class TestRetryPolicy:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_retries": -1},
+            {"lr_backoff": 0.0},
+            {"lr_backoff": 1.0},
+            {"regression_factor": 1.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+class TestRunWithRecovery:
+    def test_clean_run_passes_through(self):
+        state = {"value": 0}
+
+        def attempt(scale):
+            state["value"] = 10
+            return type("R", (), {"mse": [1.0, 0.5]})()
+
+        outcome = run_with_recovery(
+            attempt, lambda: dict(state), lambda s: state.update(s)
+        )
+        assert outcome.attempts == 1
+        assert outcome.lr_scale == 1.0
+        assert outcome.notes == []
+        assert state["value"] == 10
+
+    def test_rollback_and_backoff_then_success(self):
+        state = {"value": 0}
+        calls = []
+
+        def attempt(scale):
+            calls.append((scale, state["value"]))
+            state["value"] += 1
+            if len(calls) == 1:
+                raise TrainingDiverged("boom")
+            return type("R", (), {"mse": [1.0, 0.5]})()
+
+        outcome = run_with_recovery(
+            attempt,
+            lambda: dict(state),
+            lambda s: (state.clear(), state.update(s)),
+            policy=RetryPolicy(max_retries=2, lr_backoff=0.5),
+            stage="unit",
+        )
+        # Second attempt starts from the restored snapshot at half the rate.
+        assert calls == [(1.0, 0), (0.5, 0)]
+        assert outcome.attempts == 2
+        assert outcome.lr_scale == 0.5
+        assert len(outcome.notes) == 1 and "unit" in outcome.notes[0]
+
+    def test_history_divergence_triggers_retry(self):
+        histories = [[1.0, 50.0], [1.0, 0.5]]
+
+        def attempt(scale):
+            return type("R", (), {"mse": histories.pop(0)})()
+
+        outcome = run_with_recovery(
+            attempt, lambda: None, lambda s: None,
+            policy=RetryPolicy(regression_factor=5.0),
+        )
+        assert outcome.attempts == 2
+
+    def test_exhausted_budget_raises_and_restores(self):
+        state = {"value": 0}
+
+        def attempt(scale):
+            state["value"] += 1
+            raise TrainingDiverged("always")
+
+        with pytest.raises(TrainingDiverged, match="attempts"):
+            run_with_recovery(
+                attempt,
+                lambda: dict(state),
+                lambda s: (state.clear(), state.update(s)),
+                policy=RetryPolicy(max_retries=1),
+            )
+        assert state["value"] == 0  # restored to the pre-stage snapshot
+
+    def test_history_of_override(self):
+        def attempt(scale):
+            return type(
+                "R", (), {"mse": [1.0], "mean_rel_errors": [1.0, 99.0]}
+            )()
+
+        with pytest.raises(TrainingDiverged):
+            run_with_recovery(
+                attempt, lambda: None, lambda s: None,
+                policy=RetryPolicy(max_retries=0),
+                history_of=lambda r: r.mean_rel_errors,
+            )

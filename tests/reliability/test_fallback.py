@@ -1,0 +1,133 @@
+"""Tests for the graceful-degradation serving oracle."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.dijkstra import bidirectional_dijkstra, dijkstra, pair_distances
+from repro.reliability import OracleStats, ResilientOracle
+from repro.reliability.faults import corrupt_file, truncate_file
+
+
+@pytest.fixture
+def artifact(rel_rne, tmp_path):
+    path = tmp_path / "rne.npz"
+    rel_rne.save(str(path))
+    return path
+
+
+class TestConstruction:
+    def test_requires_exactly_one_source(self, rel_graph, rel_rne):
+        with pytest.raises(ValueError):
+            ResilientOracle(rel_graph)
+        with pytest.raises(ValueError):
+            ResilientOracle(rel_graph, "x.npz", rne=rel_rne)
+
+    def test_bad_error_bound(self, rel_graph, rel_rne):
+        with pytest.raises(ValueError):
+            ResilientOracle(rel_graph, rne=rel_rne, error_bound=0.0)
+
+
+class TestHealthyServing:
+    def test_serves_model_answers(self, rel_graph, artifact, rel_rne, rng):
+        oracle = ResilientOracle(rel_graph, str(artifact))
+        assert oracle.healthy
+        pairs = rng.integers(rel_graph.n, size=(20, 2))
+        np.testing.assert_allclose(
+            oracle.query_pairs(pairs), rel_rne.query_pairs(pairs)
+        )
+        assert oracle.query(0, 5) == pytest.approx(rel_rne.query(0, 5))
+        assert oracle.stats.model_queries == 21
+        assert oracle.stats.fallback_queries == 0
+        assert oracle.stats.fallback_rate == 0.0
+
+    def test_probe_records_error_and_keeps_health(self, rel_graph, artifact):
+        oracle = ResilientOracle(rel_graph, str(artifact), error_bound=10.0)
+        assert oracle.healthy
+        assert oracle.stats.probe_mean_rel_error is not None
+        assert oracle.stats.probe_mean_rel_error < 10.0
+
+
+class TestDegradedServing:
+    @pytest.fixture
+    def degraded(self, rel_graph, artifact):
+        corrupt_file(artifact, seed=11, nbytes=8)
+        oracle = ResilientOracle(rel_graph, str(artifact))
+        assert not oracle.healthy
+        assert oracle.stats.degraded
+        assert "artifact rejected" in oracle.stats.degraded_reason
+        return oracle
+
+    def test_corrupt_artifact_serves_exact(self, degraded, rel_graph, rng):
+        pairs = rng.integers(rel_graph.n, size=(10, 2))
+        np.testing.assert_allclose(
+            degraded.query_pairs(pairs), pair_distances(rel_graph, pairs)
+        )
+        assert degraded.query(0, 7) == pytest.approx(
+            bidirectional_dijkstra(rel_graph, 0, 7)
+        )
+        assert degraded.stats.fallback_queries == 11
+        assert degraded.stats.model_queries == 0
+        assert degraded.stats.fallback_rate == 1.0
+
+    def test_degraded_range_query_is_exact(self, degraded, rel_graph, rng):
+        targets = rng.choice(rel_graph.n, size=15, replace=False)
+        dist = np.asarray(dijkstra(rel_graph, 3), dtype=np.float64)
+        tau = float(np.median(dist[targets]))
+        got = degraded.range_query(3, targets, tau)
+        np.testing.assert_array_equal(
+            got, np.sort(targets[dist[targets] <= tau])
+        )
+
+    def test_degraded_knn_is_exact(self, degraded, rel_graph, rng):
+        targets = rng.choice(rel_graph.n, size=15, replace=False)
+        got = degraded.knn(2, targets, 4)
+        dist = np.asarray(dijkstra(rel_graph, 2), dtype=np.float64)
+        np.testing.assert_allclose(
+            np.sort(dist[got]), np.sort(dist[targets])[:4]
+        )
+
+    def test_degraded_knn_join_is_exact(self, degraded, rel_graph, rng):
+        sources = rng.choice(rel_graph.n, size=3, replace=False)
+        targets = rng.choice(rel_graph.n, size=10, replace=False)
+        got = degraded.knn_join(sources, targets, 3)
+        assert got.shape == (3, 3)
+        for row, s in zip(got, sources):
+            dist = np.asarray(dijkstra(rel_graph, int(s)), dtype=np.float64)
+            np.testing.assert_allclose(
+                np.sort(dist[row]), np.sort(dist[targets])[:3]
+            )
+
+    def test_degraded_validates_query_args(self, degraded, rel_graph):
+        with pytest.raises(ValueError):
+            degraded.knn(0, np.arange(5), 0)
+        with pytest.raises(ValueError):
+            degraded.range_query(0, np.arange(5), -1.0)
+
+    def test_truncated_artifact_degrades(self, rel_graph, artifact):
+        truncate_file(artifact, fraction=0.3)
+        oracle = ResilientOracle(rel_graph, str(artifact))
+        assert not oracle.healthy
+
+    def test_wrong_graph_degrades(self, artifact):
+        from repro.graph.generators import grid_city
+
+        other = grid_city(6, 6, seed=4)
+        oracle = ResilientOracle(other, str(artifact))
+        assert not oracle.healthy
+        assert "different graph" in oracle.stats.degraded_reason
+
+    def test_probe_failure_degrades(self, rel_graph, artifact):
+        oracle = ResilientOracle(rel_graph, str(artifact), error_bound=1e-9)
+        assert not oracle.healthy
+        assert "exceeds" in oracle.stats.degraded_reason
+        # Degradation via probe still serves exact answers.
+        assert oracle.query(0, 1) == pytest.approx(
+            bidirectional_dijkstra(rel_graph, 0, 1)
+        )
+
+
+class TestStats:
+    def test_empty_stats(self):
+        stats = OracleStats()
+        assert stats.total_queries == 0
+        assert stats.fallback_rate == 0.0

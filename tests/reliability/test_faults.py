@@ -1,0 +1,72 @@
+"""Tests for the deterministic fault-injection harness."""
+
+import pytest
+
+from repro.reliability import FaultInjector, InjectedFault, installed
+from repro.reliability import faults
+from repro.reliability.faults import corrupt_file, truncate_file
+
+
+class TestFaultInjector:
+    def test_recorder_logs_events_in_order(self):
+        inj = FaultInjector.recorder()
+        with installed(inj):
+            faults.fire("a", "one")
+            faults.fire("b", "two")
+            faults.fire("a", "three")
+        assert inj.log == [("a", "one"), ("b", "two"), ("a", "three")]
+        assert inj.events() == ["a", "b", "a"]
+
+    def test_crash_on_nth_occurrence(self):
+        inj = FaultInjector.crash_on("boom", occurrence=2)
+        with installed(inj):
+            faults.fire("boom")  # first occurrence passes
+            faults.fire("other")
+            with pytest.raises(InjectedFault):
+                faults.fire("boom")
+
+    def test_fire_is_noop_without_injector(self):
+        faults.fire("anything")  # must not raise
+
+    def test_injected_fault_is_not_oserror(self):
+        # The crash must not be swallowed by IO error handling.
+        assert not issubclass(InjectedFault, OSError)
+
+    def test_installed_restores_previous(self):
+        outer = FaultInjector.recorder()
+        inner = FaultInjector.recorder()
+        with installed(outer):
+            with installed(inner):
+                faults.fire("x")
+            faults.fire("y")
+        assert inner.events() == ["x"]
+        assert outer.events() == ["y"]
+
+
+class TestFileCorruption:
+    def test_corrupt_file_changes_bytes_deterministically(self, tmp_path):
+        a = tmp_path / "a.bin"
+        b = tmp_path / "b.bin"
+        payload = bytes(range(256))
+        a.write_bytes(payload)
+        b.write_bytes(payload)
+        corrupt_file(a, seed=7, nbytes=3)
+        corrupt_file(b, seed=7, nbytes=3)
+        assert a.read_bytes() != payload
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_corrupt_file_different_seed_differs(self, tmp_path):
+        a = tmp_path / "a.bin"
+        b = tmp_path / "b.bin"
+        payload = bytes(1000)
+        a.write_bytes(payload)
+        b.write_bytes(payload)
+        corrupt_file(a, seed=1, nbytes=4)
+        corrupt_file(b, seed=2, nbytes=4)
+        assert a.read_bytes() != b.read_bytes()
+
+    def test_truncate_file(self, tmp_path):
+        path = tmp_path / "t.bin"
+        path.write_bytes(bytes(100))
+        truncate_file(path, fraction=0.5)
+        assert path.stat().st_size == 50

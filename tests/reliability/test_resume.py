@@ -1,0 +1,142 @@
+"""End-to-end crash/resume tests for the checkpointed build pipeline."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import RNE, build_rne
+from repro.reliability import (
+    ArtifactError,
+    FaultInjector,
+    InjectedFault,
+    installed,
+    load_artifact,
+)
+from repro.reliability.faults import corrupt_file
+
+
+def _checkpoints(directory):
+    return sorted(f for f in os.listdir(directory) if f.endswith(".ckpt.npz"))
+
+
+@pytest.fixture(scope="module")
+def boundary_count(rel_graph, rel_config, tmp_path_factory):
+    """How many checkpoint saves a full build performs (recorded, no crash)."""
+    ckpt = tmp_path_factory.mktemp("record")
+    with installed(FaultInjector.recorder()) as inj:
+        build_rne(rel_graph, rel_config, checkpoint_dir=str(ckpt))
+    saves = inj.events().count("checkpoint.saved")
+    assert saves >= 3  # at least one hierarchy level + vertex + joint
+    return saves
+
+
+class TestCheckpointedBuild:
+    def test_checkpointing_does_not_change_the_result(
+        self, rel_graph, rel_config, rel_rne, tmp_path
+    ):
+        with_ckpt = build_rne(rel_graph, rel_config, checkpoint_dir=str(tmp_path))
+        np.testing.assert_array_equal(
+            with_ckpt.model.matrix, rel_rne.model.matrix
+        )
+        assert _checkpoints(tmp_path)  # checkpoints were actually written
+
+    def test_resume_with_empty_directory_is_a_fresh_build(
+        self, rel_graph, rel_config, rel_rne, tmp_path
+    ):
+        rne = build_rne(
+            rel_graph, rel_config, checkpoint_dir=str(tmp_path), resume=True
+        )
+        np.testing.assert_array_equal(rne.model.matrix, rel_rne.model.matrix)
+
+    def test_crash_at_every_boundary_then_resume_is_bit_identical(
+        self, rel_graph, rel_config, rel_rne, boundary_count, tmp_path
+    ):
+        """The acceptance criterion: kill the build at each checkpoint
+        boundary in turn; on-disk artifacts must all stay valid and the
+        resumed run must reproduce the uninterrupted result exactly."""
+        for occurrence in range(1, boundary_count + 1):
+            ckpt = tmp_path / f"crash_{occurrence}"
+            inj = FaultInjector.crash_on("checkpoint.saved", occurrence)
+            with installed(inj):
+                with pytest.raises(InjectedFault):
+                    build_rne(rel_graph, rel_config, checkpoint_dir=str(ckpt))
+            # Every artifact the crashed run left behind is fully valid.
+            for name in _checkpoints(ckpt):
+                load_artifact(ckpt / name, expect_kind="checkpoint")
+            resumed = build_rne(
+                rel_graph, rel_config, checkpoint_dir=str(ckpt), resume=True
+            )
+            assert any("resumed from checkpoint" in n for n in resumed.history.notes)
+            np.testing.assert_array_equal(
+                resumed.model.matrix, rel_rne.model.matrix
+            )
+            assert resumed.history.phase_errors == rel_rne.history.phase_errors
+
+    def test_crash_mid_artifact_write_leaves_no_torn_checkpoint(
+        self, rel_graph, rel_config, rel_rne, tmp_path
+    ):
+        inj = FaultInjector.crash_on("artifact.pre_replace", 1)
+        with installed(inj):
+            with pytest.raises(InjectedFault):
+                build_rne(rel_graph, rel_config, checkpoint_dir=str(tmp_path))
+        assert _checkpoints(tmp_path) == []  # nothing half-written
+        resumed = build_rne(
+            rel_graph, rel_config, checkpoint_dir=str(tmp_path), resume=True
+        )
+        np.testing.assert_array_equal(resumed.model.matrix, rel_rne.model.matrix)
+
+    def test_corrupt_latest_checkpoint_degrades_to_previous(
+        self, rel_graph, rel_config, rel_rne, tmp_path
+    ):
+        build_rne(rel_graph, rel_config, checkpoint_dir=str(tmp_path))
+        names = _checkpoints(tmp_path)
+        assert len(names) >= 2
+        # Find the highest-step checkpoint and corrupt it.
+        steps = {
+            name: load_artifact(tmp_path / name)[1]["meta"]["step"]
+            for name in names
+        }
+        latest = max(steps, key=lambda name: steps[name])
+        corrupt_file(tmp_path / latest, seed=3, nbytes=8)
+        resumed = build_rne(
+            rel_graph, rel_config, checkpoint_dir=str(tmp_path), resume=True
+        )
+        assert any("skipped corrupt checkpoint" in n for n in resumed.history.notes)
+        np.testing.assert_array_equal(resumed.model.matrix, rel_rne.model.matrix)
+
+
+class TestFlatResume:
+    def test_crash_and_resume_flat_build(self, rel_graph, rel_config, tmp_path):
+        from dataclasses import replace
+
+        config = replace(rel_config, hierarchical=False)
+        baseline = build_rne(rel_graph, config)
+        ckpt = tmp_path / "flat"
+        with installed(FaultInjector.crash_on("checkpoint.saved", 1)):
+            with pytest.raises(InjectedFault):
+                build_rne(rel_graph, config, checkpoint_dir=str(ckpt))
+        resumed = build_rne(
+            rel_graph, config, checkpoint_dir=str(ckpt), resume=True
+        )
+        np.testing.assert_array_equal(
+            resumed.model.matrix, baseline.model.matrix
+        )
+
+
+class TestSavedRneValidation:
+    def test_corrupt_rne_artifact_raises(self, rel_rne, rel_graph, tmp_path):
+        path = tmp_path / "rne.npz"
+        rel_rne.save(str(path))
+        corrupt_file(path, seed=9, nbytes=8)
+        with pytest.raises(ArtifactError):
+            RNE.load(str(path), rel_graph)
+
+    def test_wrong_graph_raises(self, rel_rne, tmp_path):
+        from repro.graph.generators import grid_city
+
+        path = tmp_path / "rne.npz"
+        rel_rne.save(str(path))
+        other = grid_city(6, 6, seed=4)  # same size, different weights
+        with pytest.raises(ArtifactError, match="different graph"):
+            RNE.load(str(path), other)

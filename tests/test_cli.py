@@ -27,3 +27,64 @@ class TestCli:
         assert main(["fig9", "--fast"]) == 0
         out = capsys.readouterr().out
         assert "Fig 9" in out
+
+
+class TestFailureIsolation:
+    @pytest.fixture
+    def experiments(self, monkeypatch):
+        calls = []
+
+        def ok(fast=False):
+            calls.append("ok")
+            return "fine"
+
+        def boom(fast=False):
+            calls.append("boom")
+            raise RuntimeError("synthetic failure")
+
+        fakes = {"good": ok, "bad": boom, "also_good": ok}
+        monkeypatch.setattr("repro.cli.EXPERIMENTS", fakes)
+        return calls
+
+    def test_all_continues_past_failures(self, experiments, capsys):
+        assert main(["all"]) == 1
+        # The failing experiment did not stop the ones after it.
+        assert experiments == ["ok", "boom", "ok"]
+        err = capsys.readouterr().err
+        assert "experiment 'bad' failed" in err
+        assert "RuntimeError: synthetic failure" in err
+        assert "1/3 experiment(s) failed: bad" in err
+
+    def test_single_failure_reported(self, experiments, capsys):
+        assert main(["bad"]) == 1
+        err = capsys.readouterr().err
+        assert "1/1 experiment(s) failed: bad" in err
+
+    def test_all_green_exits_zero(self, experiments, capsys):
+        assert main(["good"]) == 0
+        assert capsys.readouterr().err == ""
+
+
+class TestTrainCommand:
+    def test_resume_requires_checkpoint_dir(self, capsys):
+        assert main(["train", "--out", "x.npz", "--resume"]) == 2
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_out_is_required(self):
+        with pytest.raises(SystemExit):
+            main(["train"])
+
+    @pytest.mark.slow
+    def test_train_and_resume_roundtrip(self, tmp_path, capsys):
+        out = tmp_path / "model.npz"
+        ckpts = tmp_path / "ckpts"
+        args = ["train", "--out", str(out), "--checkpoint-dir", str(ckpts),
+                "--size", "6", "--seed", "1"]
+        assert main(args) == 0
+        assert out.exists()
+        first = capsys.readouterr().out
+        assert "final mean relative error" in first
+        # Re-running with --resume skips straight to the end.
+        assert main(args + ["--resume"]) == 0
+        second = capsys.readouterr().out
+        assert "resumed from checkpoint" in second
