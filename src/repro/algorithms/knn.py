@@ -3,6 +3,16 @@
 Used to score the approximate indexes of Sec. VI: a Dijkstra expansion from
 the source settles targets in increasing true-distance order, so stopping
 after ``k`` targets (or past the range threshold) is exact.
+
+Result-ordering contract (shared with :class:`repro.core.index.EmbeddingTreeIndex`
+and :mod:`repro.serving`):
+
+* **kNN** returns targets in ascending ``(distance, vertex id)`` order and
+  silently returns ``min(k, #reachable unique targets)`` results when the
+  target set (or the reachable part of it) is smaller than ``k``.
+* **Range** returns the matching targets as ascending sorted vertex ids.
+* Target sets are treated as *sets*: duplicate ids contribute one result;
+  unreachable targets are never returned.
 """
 
 from __future__ import annotations
@@ -15,7 +25,15 @@ from ..graph import Graph
 
 
 def knn_true(graph: Graph, source: int, targets: np.ndarray, k: int) -> np.ndarray:
-    """The ``k`` targets nearest to ``source`` by true network distance."""
+    """The ``k`` targets nearest to ``source`` by true network distance.
+
+    Targets settle in ascending distance order; with positive edge weights
+    every vertex at a given distance is already queued (with its final
+    distance) when the first of them pops, so the heap's ``(d, id)`` tuple
+    comparison yields ascending ``(distance, vertex id)`` output.  Returns
+    ``min(k, #reachable unique targets)`` results — fewer than ``k`` when
+    the heap drains first — matching ``EmbeddingTreeIndex.knn_query``.
+    """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
     is_target = np.zeros(graph.n, dtype=bool)
@@ -43,7 +61,11 @@ def knn_true(graph: Graph, source: int, targets: np.ndarray, k: int) -> np.ndarr
 def range_true(
     graph: Graph, source: int, targets: np.ndarray, tau: float
 ) -> np.ndarray:
-    """All targets within true network distance ``tau`` of ``source``."""
+    """All targets within true network distance ``tau`` of ``source``.
+
+    Returns ascending sorted vertex ids (the range contract); duplicate
+    target ids contribute a single result.
+    """
     if tau < 0:
         raise ValueError(f"tau must be >= 0, got {tau}")
     is_target = np.zeros(graph.n, dtype=bool)

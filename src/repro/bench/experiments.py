@@ -721,6 +721,12 @@ def fig17_error_vs_distance(
     return {"bounds": bounds, "rel": rel, "abs": abs_, "report": "\n\n".join(lines)}
 
 
+def _serving_runner(**kw) -> str:
+    from .serving import serving_benchmark
+
+    return serving_benchmark(**kw)["report"]
+
+
 def _ablation_runner(name: str):
     def run(**kw):
         from . import ablations
@@ -744,6 +750,7 @@ EXPERIMENTS = {
     "fig15": lambda **kw: fig15_error_cdf(**kw)["report"],
     "fig16": lambda **kw: fig16_range_knn(**kw)["report"],
     "fig17": lambda **kw: fig17_error_vs_distance(**kw)["report"],
+    "serving": lambda **kw: _serving_runner(**kw),
     "ablate-joint": _ablation_runner("ablate_joint_pass"),
     "ablate-optimizer": _ablation_runner("ablate_optimizer"),
     "ablate-landmarks": _ablation_runner("ablate_landmark_strategy"),

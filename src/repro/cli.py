@@ -8,6 +8,9 @@ Usage::
     rne all                  # everything (slow); failures don't stop the run
     rne train --out model.npz --checkpoint-dir ckpts   # crash-safe training
     rne train --out model.npz --checkpoint-dir ckpts --resume
+    rne serve --model model.npz --targets random:64    # stdin query server
+    rne query --model model.npz "dist 0 5" "knn 3 2"   # one-shot batch
+    rne query --batch queries.txt --stats-out stats.json
 
 Equivalent to ``python -m repro.cli <experiment>``.
 """
@@ -104,10 +107,148 @@ def _run_train(argv: list[str]) -> int:
     return 0
 
 
+def _add_serving_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--model",
+        default=None,
+        help="trained RNE artifact (.npz); omitted = exact-only serving",
+    )
+    parser.add_argument("--size", type=int, default=16, help="grid side length")
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument(
+        "--targets",
+        default="all",
+        help=(
+            "target set for knn/range: 'all', 'random:K', or "
+            "comma-separated vertex ids"
+        ),
+    )
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=256,
+        help="micro-batching window (queries per engine batch)",
+    )
+    parser.add_argument(
+        "--stats-out",
+        default=None,
+        help="write the serving stats snapshot to this JSON file",
+    )
+
+
+def _parse_target_spec(spec: str, n: int, seed: int):
+    import numpy as np
+
+    if spec == "all":
+        return np.arange(n, dtype=np.int64)
+    if spec.startswith("random:"):
+        count = int(spec.split(":", 1)[1])
+        rng = np.random.default_rng(seed + 1)
+        return np.sort(rng.choice(n, size=min(count, n), replace=False)).astype(
+            np.int64
+        )
+    return np.array([int(tok) for tok in spec.split(",")], dtype=np.int64)
+
+
+def _build_serving_engine(args: argparse.Namespace):
+    """The engine (and its graph) behind ``rne serve`` / ``rne query``.
+
+    With ``--model`` the artifact is loaded through ResilientOracle, so a
+    corrupt or wrong-graph file degrades to exact serving instead of
+    answering wrongly; without it the engine serves exact answers only.
+    """
+    from .graph.generators import grid_city
+    from .reliability.fallback import ResilientOracle
+    from .serving import BatchQueryEngine
+
+    graph = grid_city(args.size, args.size, seed=args.seed)
+    if args.model is not None:
+        oracle = ResilientOracle(graph, args.model)
+        if not oracle.healthy:
+            print(
+                f"serving degraded to exact: {oracle.stats.degraded_reason}",
+                file=sys.stderr,
+            )
+        return oracle.engine, graph
+    return BatchQueryEngine(graph=graph), graph
+
+
+def _serve_and_report(args: argparse.Namespace, lines) -> int:
+    import json
+
+    from .serving import serve_lines
+
+    engine, graph = _build_serving_engine(args)
+    targets = _parse_target_spec(args.targets, graph.n, args.seed)
+    try:
+        for answer in serve_lines(
+            lines, engine, targets=targets, batch_size=args.batch_size
+        ):
+            print(answer)
+    except BrokenPipeError:  # downstream consumer went away; not an error
+        pass
+    print(engine.report(), file=sys.stderr)
+    if args.stats_out is not None:
+        with open(args.stats_out, "w", encoding="utf-8") as fh:
+            json.dump(engine.snapshot(), fh, indent=2, sort_keys=True)
+        print(f"stats written to {args.stats_out}", file=sys.stderr)
+    return 0
+
+
+def _run_serve(argv: list[str]) -> int:
+    """``rne serve``: micro-batched query server reading stdin."""
+    parser = argparse.ArgumentParser(
+        prog="rne serve",
+        description=(
+            "Serve queries from stdin, one per line: 'dist S T', 'knn S K', "
+            "'range S TAU'.  Answers stream to stdout in input order; a "
+            "serving-stats table goes to stderr on shutdown."
+        ),
+    )
+    _add_serving_arguments(parser)
+    args = parser.parse_args(argv)
+    return _serve_and_report(args, sys.stdin)
+
+
+def _run_query(argv: list[str]) -> int:
+    """``rne query``: one-shot micro-batched queries from argv or a file."""
+    parser = argparse.ArgumentParser(
+        prog="rne query",
+        description=(
+            "Answer a batch of queries ('dist S T', 'knn S K', 'range S TAU') "
+            "given on the command line or via --batch FILE ('-' = stdin)."
+        ),
+    )
+    _add_serving_arguments(parser)
+    parser.add_argument(
+        "--batch",
+        default=None,
+        metavar="FILE",
+        help="read queries from FILE, one per line ('-' for stdin)",
+    )
+    parser.add_argument("queries", nargs="*", help="inline query strings")
+    args = parser.parse_args(argv)
+    if (args.batch is None) == (not args.queries):
+        print("provide either inline queries or --batch FILE", file=sys.stderr)
+        return 2
+    if args.batch is None:
+        lines = list(args.queries)
+    elif args.batch == "-":
+        lines = sys.stdin.read().splitlines()
+    else:
+        with open(args.batch, "r", encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+    return _serve_and_report(args, lines)
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "train":
         return _run_train(argv[1:])
+    if argv and argv[0] == "serve":
+        return _run_serve(argv[1:])
+    if argv and argv[0] == "query":
+        return _run_query(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="rne",
@@ -115,7 +256,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        help="experiment name (see 'rne list'), 'list', 'all', or 'train'",
+        help=(
+            "experiment name (see 'rne list'), 'list', 'all', 'train', "
+            "'serve', or 'query'"
+        ),
     )
     parser.add_argument(
         "--fast",

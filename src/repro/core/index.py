@@ -13,17 +13,106 @@ a min-priority queue, exactly as Algorithm "Range/kNN" in the paper.
 
 Results are exact with respect to *embedding* distances; their accuracy
 against true network distances (F1 in Fig. 16) is the model's accuracy.
+
+Result-ordering contract (shared with :mod:`repro.algorithms.knn` and
+:mod:`repro.serving`):
+
+* **kNN** returns targets in ascending ``(distance, vertex id)`` order —
+  ties on distance break towards the smaller id — and silently returns
+  ``min(k, #unique targets)`` results when the target set is smaller
+  than ``k``.
+* **Range** returns the matching targets as ascending sorted vertex ids.
+* Target sets are treated as *sets*: duplicate ids contribute one result.
+
+Repeated queries against the same target set should build a
+:class:`PreparedTargets` once via :meth:`EmbeddingTreeIndex.prepare` and
+call the ``*_prepared`` entry points; the one-shot ``range_query`` /
+``knn_query`` wrappers rebuild the (O(n)) target mask on every call.
 """
 
 from __future__ import annotations
 
 import heapq
+import itertools
+from dataclasses import dataclass
+from typing import List, Optional
 
 import numpy as np
 
 from ..devtools.contracts import shapes
 from ..graph import PartitionHierarchy
 from .model import lp_distance
+
+#: Monotonic token source for cache-keying PreparedTargets instances.
+_PREPARED_TOKENS = itertools.count()
+
+#: Heap-entry kinds for best-first kNN.  Nodes sort *before* vertices at
+#: equal keys: a node whose lower bound equals a candidate's distance may
+#: still contain an equal-distance vertex with a smaller id, which the
+#: ordering contract must surface first.
+_NODE, _VERTEX = 0, 1
+
+
+@dataclass(frozen=True)
+class PreparedTargets:
+    """A target set preprocessed for repeated range/kNN queries.
+
+    Holds everything that previously had to be recomputed per query: the
+    O(n) boolean membership mask, the deduplicated sorted id array, and —
+    when built by an :class:`EmbeddingTreeIndex` — the per-leaf member
+    lists plus a per-tree-node "subtree contains a target" flag used to
+    prune traversal.
+
+    Instances are immutable and carry a unique ``token`` so serving-layer
+    caches can key cached rows by (target set, source).
+    """
+
+    n: int
+    ids: np.ndarray
+    mask: np.ndarray
+    token: int
+    #: Node ids of leaf cells containing at least one target (tree only).
+    leaf_ids: Optional[np.ndarray] = None
+    #: Concatenated per-leaf member ids, ascending within each leaf.
+    member_flat: Optional[np.ndarray] = None
+    #: ``member_offsets[j]:member_offsets[j+1]`` slices ``member_flat``
+    #: for ``leaf_ids[j]``.
+    member_offsets: Optional[np.ndarray] = None
+    #: Per-node flag over *all* tree node ids: subtree holds >= 1 target.
+    node_active: Optional[np.ndarray] = None
+    #: Per-node position into ``leaf_ids`` (-1 for non-member-leaf nodes).
+    leaf_pos: Optional[np.ndarray] = None
+
+    @classmethod
+    def flat(cls, n: int, targets: np.ndarray) -> "PreparedTargets":
+        """Prepare a target set without tree structure (mask + ids only)."""
+        ids = np.unique(np.asarray(targets, dtype=np.int64))
+        if ids.size and (ids[0] < 0 or ids[-1] >= n):
+            raise ValueError(
+                f"target ids must be in [0, {n}), got range "
+                f"[{ids[0]}, {ids[-1]}]"
+            )
+        mask = np.zeros(n, dtype=bool)
+        mask[ids] = True
+        return cls(n=n, ids=ids, mask=mask, token=next(_PREPARED_TOKENS))
+
+    @property
+    def m(self) -> int:
+        """Number of distinct targets."""
+        return int(self.ids.size)
+
+    @property
+    def has_tree(self) -> bool:
+        """Whether per-leaf member lists are available."""
+        return self.leaf_ids is not None
+
+    def members_of(self, leaf_index: int) -> np.ndarray:
+        """Target ids inside leaf ``leaf_ids[leaf_index]`` (ascending)."""
+        if self.member_flat is None or self.member_offsets is None:
+            raise ValueError("PreparedTargets was built without tree structure")
+        start = int(self.member_offsets[leaf_index])
+        end = int(self.member_offsets[leaf_index + 1])
+        return self.member_flat[start:end]
 
 
 class EmbeddingTreeIndex:
@@ -57,30 +146,98 @@ class EmbeddingTreeIndex:
         # Leaf cells are the last *sub-graph* level; per-vertex tree nodes
         # are skipped in traversal (vertices are enumerated from leaf cells).
         self._leaf_level = hierarchy.num_subgraph_levels - 1
+        num_nodes = len(hierarchy.nodes)
+        d = matrix.shape[1]
+        # Dense per-node-id arrays so the serving engine can compute bounds
+        # for whole (source, node) frontiers in single numpy passes.
+        self.node_centres = np.zeros((num_nodes, d), dtype=np.float64)
+        self.node_radii = np.zeros(num_nodes, dtype=np.float64)
         self._centres: dict[int, np.ndarray] = {}
         self._radii: dict[int, float] = {}
+        child_offsets = np.zeros(num_nodes + 1, dtype=np.int64)
+        child_chunks: List[np.ndarray] = []
         # perf: loop-ok (index build is O(#tree nodes), not O(n) per query)
         for node in hierarchy.nodes:
             if node.level > self._leaf_level:
                 continue
             members = matrix[node.vertices]
             centre = members.mean(axis=0)
-            self._centres[node.id] = centre
-            self._radii[node.id] = float(
+            self.node_centres[node.id] = centre
+            self.node_radii[node.id] = float(
                 lp_distance(members - centre, self.p).max()
             )
+            self._centres[node.id] = self.node_centres[node.id]
+            self._radii[node.id] = float(self.node_radii[node.id])
+            if node.level < self._leaf_level:
+                child_offsets[node.id + 1] = len(node.children)
+                child_chunks.append(np.asarray(node.children, dtype=np.int64))
+        np.cumsum(child_offsets, out=child_offsets)
+        self.child_offsets = child_offsets
+        self.child_flat = (
+            np.concatenate(child_chunks)
+            if child_chunks
+            else np.empty(0, dtype=np.int64)
+        )
 
     # ------------------------------------------------------------------
     def _bound(self, q: np.ndarray, node_id: int) -> float:
         """Lower bound on embedding distance from ``q`` to the node's members."""
-        d = float(lp_distance(q - self._centres[node_id], self.p))
-        return max(d - self._radii[node_id], 0.0)
+        d = float(lp_distance(q - self.node_centres[node_id], self.p))
+        return max(d - float(self.node_radii[node_id]), 0.0)
 
     def _roots(self) -> list[int]:
         return self.hierarchy.root_ids()
 
     def _child_cells(self, node_id: int) -> list[int]:
         return self.hierarchy.nodes[node_id].children
+
+    @property
+    def leaf_level(self) -> int:
+        """Tree level of the leaf cells traversal stops at."""
+        return self._leaf_level
+
+    # ------------------------------------------------------------------
+    @shapes(targets="(k,):int")
+    def prepare(self, targets: np.ndarray) -> PreparedTargets:
+        """Preprocess a target set for repeated queries.
+
+        Computes, once: the deduplicated id array, the O(n) membership
+        mask, per-leaf member lists (ascending ids within each leaf) and
+        the per-node subtree-activity flags that let traversal skip whole
+        subtrees containing no targets.
+        """
+        base = PreparedTargets.flat(self.hierarchy.graph.n, targets)
+        ids = base.ids
+        anc = self.hierarchy.anc_rows
+        num_nodes = len(self.hierarchy.nodes)
+        node_active = np.zeros(num_nodes, dtype=bool)
+        # perf: loop-ok (one pass per tree level, each fully vectorised)
+        for level in range(self._leaf_level + 1):
+            level_ids = np.asarray(self.hierarchy.levels[level], dtype=np.int64)
+            active_rows = np.unique(anc[ids, level])
+            node_active[level_ids[active_rows]] = True
+        leaf_rows = anc[ids, self._leaf_level] if ids.size else ids
+        order = np.argsort(leaf_rows, kind="stable")
+        member_flat = ids[order]
+        uniq_rows, starts = np.unique(leaf_rows[order], return_index=True)
+        member_offsets = np.append(starts, member_flat.size).astype(np.int64)
+        leaf_level_ids = np.asarray(
+            self.hierarchy.levels[self._leaf_level], dtype=np.int64
+        )
+        leaf_ids = leaf_level_ids[uniq_rows]
+        leaf_pos = np.full(num_nodes, -1, dtype=np.int64)
+        leaf_pos[leaf_ids] = np.arange(leaf_ids.size, dtype=np.int64)
+        return PreparedTargets(
+            n=base.n,
+            ids=ids,
+            mask=base.mask,
+            token=base.token,
+            leaf_ids=leaf_ids,
+            member_flat=member_flat,
+            member_offsets=member_offsets,
+            node_active=node_active,
+            leaf_pos=leaf_pos,
+        )
 
     # ------------------------------------------------------------------
     @shapes(targets="(k,):int")
@@ -93,70 +250,105 @@ class EmbeddingTreeIndex:
         """All targets within embedding distance ``tau`` of ``source``.
 
         ``targets`` restricts the candidate set (the paper's ``V_T``, e.g.
-        the POIs); pass ``np.arange(n)`` for all vertices.
+        the POIs); pass ``np.arange(n)`` for all vertices.  Thin one-shot
+        wrapper over :meth:`prepare` + :meth:`range_prepared` — callers
+        issuing many queries against one target set should prepare once.
+
+        Returns ascending sorted vertex ids; duplicate targets are
+        deduplicated (the target set is a set).
         """
+        return self.range_prepared(source, self.prepare(targets), tau)
+
+    def range_prepared(
+        self,
+        source: int,
+        prepared: PreparedTargets,
+        tau: float,
+    ) -> np.ndarray:
+        """Range query against a prepared target set (sorted-ids contract)."""
         if tau < 0:
             raise ValueError(f"tau must be >= 0, got {tau}")
+        if prepared.node_active is None or prepared.leaf_pos is None:
+            raise ValueError("prepared targets lack tree structure; use prepare()")
         q = self.matrix[source]
-        mask = np.zeros(self.hierarchy.graph.n, dtype=bool)
-        mask[np.asarray(targets, dtype=np.int64)] = True
-        out: list[int] = []
+        hits: List[np.ndarray] = []
         stack = list(self._roots())
         while stack:
             node_id = stack.pop()
+            if not prepared.node_active[node_id]:
+                continue  # no targets anywhere under this node
             if self._bound(q, node_id) > tau:
                 continue  # triangle-inequality pruning
             node = self.hierarchy.nodes[node_id]
             if node.level == self._leaf_level:
-                members = node.vertices[mask[node.vertices]]
-                if members.size:
-                    dists = lp_distance(self.matrix[members] - q, self.p)
-                    out.extend(int(v) for v in members[dists <= tau])
+                members = prepared.members_of(int(prepared.leaf_pos[node_id]))
+                dists = lp_distance(self.matrix[members] - q, self.p)
+                hits.append(members[dists <= tau])
             else:
                 stack.extend(self._child_cells(node_id))
-        return np.array(sorted(out), dtype=np.int64)
+        if not hits:
+            return np.empty(0, dtype=np.int64)
+        return np.sort(np.concatenate(hits))
 
     @shapes(targets="(m,):int")
     def knn_query(self, source: int, targets: np.ndarray, k: int) -> np.ndarray:
         """k nearest targets to ``source`` by embedding distance.
 
-        Best-first expansion over the tree: nodes enter a min-priority queue
-        keyed by their lower bound; popped vertices are final answers
-        because no unexpanded node can contain anything closer.
+        Thin one-shot wrapper over :meth:`prepare` + :meth:`knn_prepared`.
+
+        Returns targets ordered by ascending ``(embedding distance, id)``;
+        when the heap drains first — i.e. ``k`` exceeds the number of
+        distinct targets — all targets are returned (``min(k, #targets)``
+        results), matching :func:`repro.algorithms.knn.knn_true`.
+        """
+        return self.knn_prepared(source, self.prepare(targets), k)
+
+    def knn_prepared(
+        self,
+        source: int,
+        prepared: PreparedTargets,
+        k: int,
+    ) -> np.ndarray:
+        """kNN against a prepared target set ((distance, id) contract).
+
+        Best-first expansion over the tree: nodes enter a min-priority
+        queue keyed by their lower bound; popped vertices are final
+        answers because no unexpanded node can contain anything closer.
+        At equal keys nodes pop before vertices (an equal-bound node may
+        hold an equal-distance vertex with a smaller id), and vertices
+        tie-break on id — making the output deterministically sorted by
+        ``(distance, vertex id)``.  Returns ``min(k, #targets)`` results.
         """
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
+        if prepared.node_active is None or prepared.leaf_pos is None:
+            raise ValueError("prepared targets lack tree structure; use prepare()")
+        k_eff = min(k, prepared.m)
+        if k_eff == 0:
+            return np.empty(0, dtype=np.int64)
         q = self.matrix[source]
-        mask = np.zeros(self.hierarchy.graph.n, dtype=bool)
-        mask[np.asarray(targets, dtype=np.int64)] = True
-
-        heap: list[tuple[float, int, int, int]] = []  # (key, tiebreak, kind, id)
-        counter = 0
-        VERTEX, NODE = 0, 1
+        # Entries: (key, kind, id) — see _NODE/_VERTEX ordering note above.
+        heap: list[tuple[float, int, int]] = []
         for root in self._roots():
-            heapq.heappush(heap, (self._bound(q, root), counter, NODE, root))
-            counter += 1
-        result: list[int] = []
-        while heap and len(result) < k:
-            _, _, kind, ident = heapq.heappop(heap)
-            if kind == VERTEX:
+            if prepared.node_active[root]:
+                heapq.heappush(heap, (self._bound(q, root), _NODE, root))
+        result: List[int] = []
+        while heap and len(result) < k_eff:
+            _, kind, ident = heapq.heappop(heap)
+            if kind == _VERTEX:
                 result.append(ident)
                 continue
             node = self.hierarchy.nodes[ident]
             if node.level == self._leaf_level:
-                members = node.vertices[mask[node.vertices]]
-                if members.size:
-                    dists = lp_distance(self.matrix[members] - q, self.p)
-                    # perf: loop-ok (bounded by leaf size, feeds the heap)
-                    for v, d in zip(members, dists):
-                        heapq.heappush(heap, (float(d), counter, VERTEX, int(v)))
-                        counter += 1
+                members = prepared.members_of(int(prepared.leaf_pos[ident]))
+                dists = lp_distance(self.matrix[members] - q, self.p)
+                # perf: loop-ok (bounded by leaf size, feeds the heap)
+                for v, dist in zip(members, dists):
+                    heapq.heappush(heap, (float(dist), _VERTEX, int(v)))
             else:
                 for child in self._child_cells(ident):
-                    heapq.heappush(
-                        heap, (self._bound(q, child), counter, NODE, child)
-                    )
-                    counter += 1
+                    if prepared.node_active[child]:
+                        heapq.heappush(heap, (self._bound(q, child), _NODE, child))
         return np.array(result, dtype=np.int64)
 
     def index_bytes(self) -> int:

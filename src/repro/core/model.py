@@ -115,10 +115,18 @@ class RNEModel:
         return lp_distance(rows - self.matrix[s], self.p)
 
     def knn_brute(self, s: int, targets: np.ndarray, k: int) -> np.ndarray:
-        """k nearest of ``targets`` to ``s`` by embedding distance (scan)."""
-        targets = np.asarray(targets, dtype=np.int64)
+        """k nearest of ``targets`` to ``s`` by embedding distance (scan).
+
+        Follows the shared kNN contract (see :mod:`repro.core.index`):
+        duplicate targets count once, output is ascending
+        ``(distance, vertex id)``, and ``min(k, #unique targets)`` results
+        are returned when the target set is smaller than ``k``.
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        targets = np.unique(np.asarray(targets, dtype=np.int64))
         dists = self.distances_from(s, targets)
-        return targets[np.argsort(dists, kind="stable")[:k]]
+        return targets[np.lexsort((targets, dists))[:k]]
 
     def copy(self) -> "RNEModel":
         """Independent copy (used by ablations to branch training arms)."""

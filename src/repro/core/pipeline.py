@@ -160,29 +160,36 @@ class RNE:
 
     # -- spatial queries ---------------------------------------------------
     def knn(self, source: int, targets: np.ndarray, k: int) -> np.ndarray:
-        """k nearest targets via the tree index (brute scan without one)."""
+        """k nearest targets via the tree index (brute scan without one).
+
+        Both paths obey the shared contract: ascending ``(distance, id)``
+        order, ``min(k, #unique targets)`` results.
+        """
         if self.index is not None:
             return self.index.knn_query(source, targets, k)
         return self.model.knn_brute(source, targets, k)
 
     def range_query(self, source: int, targets: np.ndarray, tau: float) -> np.ndarray:
+        """Targets within embedding distance ``tau`` (ascending sorted ids)."""
         if self.index is not None:
             return self.index.range_query(source, targets, tau)
-        targets = np.asarray(targets, dtype=np.int64)
+        targets = np.unique(np.asarray(targets, dtype=np.int64))
         dists = self.model.distances_from(source, targets)
-        return np.sort(targets[dists <= tau])
+        return targets[dists <= tau]
 
     def knn_join(self, sources: np.ndarray, targets: np.ndarray, k: int) -> np.ndarray:
         """k nearest targets for *every* source — the paper's Uber workload.
 
-        Returns a ``(len(sources), k)`` id array.  Vectorised over the full
+        Returns a ``(len(sources), min(k, #unique targets))`` id array, each
+        row in ascending ``(distance, id)`` order per the shared kNN
+        contract (duplicate targets count once).  Vectorised over the full
         source x target distance matrix in chunks, so a 10k x 1k join is a
         handful of numpy ops rather than 10M scalar queries.
         """
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         sources = np.asarray(sources, dtype=np.int64)
-        targets = np.asarray(targets, dtype=np.int64)
+        targets = np.unique(np.asarray(targets, dtype=np.int64))
         k_eff = min(k, targets.size)
         out = np.empty((sources.size, k_eff), dtype=np.int64)
         t_vecs = self.model.matrix[targets]
@@ -191,11 +198,11 @@ class RNE:
             block = sources[start : start + chunk]
             diff = self.model.matrix[block][:, None, :] - t_vecs[None, :, :]
             dists = lp_distance(diff, self.model.p)
-            part = np.argpartition(dists, k_eff - 1, axis=1)[:, :k_eff]
-            order = np.take_along_axis(dists, part, axis=1).argsort(axis=1)
-            out[start : start + chunk] = targets[
-                np.take_along_axis(part, order, axis=1)
-            ]
+            # Full (distance, id) lexsort per row: unlike argpartition it
+            # resolves boundary ties deterministically towards smaller ids.
+            ids = np.broadcast_to(targets, dists.shape)
+            order = np.lexsort((ids, dists), axis=1)[:, :k_eff]
+            out[start : start + chunk] = targets[order]
         return out
 
     # -- persistence -------------------------------------------------------

@@ -1,10 +1,11 @@
 """RNE004: no Python-level loops over vertices/pairs in hot-path modules.
 
-``core/training.py``, ``core/finetune.py`` and ``core/index.py`` are the
-modules every query and every training step flows through; a Python ``for``
-over per-vertex or per-pair data there is an O(n) interpreter loop hiding
-inside an otherwise vectorised path.  Loops that are genuinely bounded by
-something small (epochs, levels, tree fanout) carry a ``# perf: loop-ok``
+``core/training.py``, ``core/finetune.py``, ``core/index.py`` and the
+serving engine/front door are the modules every query and every training
+step flows through; a Python ``for`` over per-vertex or per-pair data
+there is an O(n) interpreter loop hiding inside an otherwise vectorised
+path.  Loops that are genuinely bounded by something small (epochs,
+levels, tree fanout, cache bookkeeping) carry a ``# perf: loop-ok``
 waiver explaining why.
 """
 
@@ -15,7 +16,13 @@ from typing import Iterator
 
 from .base import FileContext, Rule, Violation
 
-HOT_PATH_FILES = ("core/training.py", "core/finetune.py", "core/index.py")
+HOT_PATH_FILES = (
+    "core/training.py",
+    "core/finetune.py",
+    "core/index.py",
+    "serving/engine.py",
+    "serving/frontdoor.py",
+)
 
 #: Identifiers that mark an iterable as per-vertex / per-pair sized.
 _HOT_IDENTIFIERS = frozenset(
@@ -37,7 +44,8 @@ class HotPathPythonLoop(Rule):
     name = "hot-path-python-loop"
     description = (
         "Python for-loops over vertices/pairs in training.py, finetune.py, "
-        "index.py require a '# perf: loop-ok' waiver"
+        "index.py, serving/engine.py, serving/frontdoor.py require a "
+        "'# perf: loop-ok' waiver"
     )
 
     def applies_to(self, ctx: FileContext) -> bool:

@@ -17,18 +17,26 @@ closes that hole for serving:
 Degradation is all-or-nothing by design: per-query error detection would
 require the exact answer per query, which is exactly the cost the learned
 index exists to avoid.
+
+Both modes route through a :class:`~repro.serving.engine.BatchQueryEngine`
+(healthy: vectorised embedding serving; degraded: cached-SSSP exact
+serving), so fallback traffic is batched and observable exactly like
+learned traffic — ``serving_snapshot()`` exposes per-op latency
+percentiles and cache hit rates on top of the fallback counters.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import List, Optional, Union
 
 import numpy as np
 
-from ..algorithms.dijkstra import bidirectional_dijkstra, dijkstra, pair_distances
+from ..algorithms.dijkstra import bidirectional_dijkstra, pair_distances
+from ..core.index import PreparedTargets
 from ..core.pipeline import RNE
 from ..graph import Graph
+from ..serving.engine import BatchQueryEngine
 from .artifacts import ArtifactError
 
 __all__ = ["OracleStats", "ResilientOracle"]
@@ -77,6 +85,8 @@ class ResilientOracle:
         Number of validation pairs for the error probe.
     seed:
         Seed for the probe-pair sample (determinism contract of the repo).
+    row_cache_size / sssp_cache_size:
+        Passed to the serving engine's hot-row and SSSP-tree LRUs.
     """
 
     def __init__(
@@ -88,6 +98,8 @@ class ResilientOracle:
         error_bound: Optional[float] = None,
         probe_pairs: int = 64,
         seed: int = 0,
+        row_cache_size: int = 256,
+        sssp_cache_size: int = 32,
     ) -> None:
         if (artifact_path is None) == (rne is None):
             raise ValueError("provide exactly one of artifact_path or rne")
@@ -97,6 +109,8 @@ class ResilientOracle:
         self.stats = OracleStats()
         self.rne: Optional[RNE] = rne
         self.error_bound = error_bound
+        self._row_cache_size = row_cache_size
+        self._sssp_cache_size = sssp_cache_size
         if artifact_path is not None:
             try:
                 self.rne = RNE.load(artifact_path, graph)
@@ -104,15 +118,30 @@ class ResilientOracle:
                 self._degrade(f"artifact rejected: {exc}")
         if self.rne is not None and error_bound is not None:
             self._probe(probe_pairs, seed)
+        self.engine = self._make_engine()
 
     # ------------------------------------------------------------------
     # health management
     # ------------------------------------------------------------------
+    def _make_engine(self) -> BatchQueryEngine:
+        model = self.rne.model if self.rne is not None else None
+        index = self.rne.index if self.rne is not None else None
+        return BatchQueryEngine(
+            model=model,
+            index=index,
+            graph=self.graph,
+            row_cache_size=self._row_cache_size,
+            sssp_cache_size=self._sssp_cache_size,
+        )
+
     def _degrade(self, reason: str) -> None:
         self.rne = None
         self.stats.degraded = True
         self.stats.degraded_reason = reason
         self.stats.notes.append(reason)
+        if getattr(self, "engine", None) is not None:
+            # Drop the learned engine; keep serving exactly (fresh caches).
+            self.engine = self._make_engine()
 
     def _probe(self, probe_pairs: int, seed: int) -> None:
         """Compare the model against exact distances on sampled pairs."""
@@ -154,60 +183,120 @@ class ResilientOracle:
         return bidirectional_dijkstra(self.graph, int(s), int(t))
 
     def query_pairs(self, pairs: np.ndarray) -> np.ndarray:
-        """Batched distances; exact grouped SSSP on fallback."""
+        """Batched distances; exact cached-SSSP serving on fallback."""
         pairs = np.asarray(pairs, dtype=np.int64)
         if self.rne is not None:
             self.stats.model_queries += pairs.shape[0]
-            return self.rne.query_pairs(pairs)
+            return self.engine.distances(pairs)
         self.stats.fallback_queries += pairs.shape[0]
-        return pair_distances(self.graph, pairs)
+        return self.engine.exact_distances(pairs)
 
-    def range_query(self, source: int, targets: np.ndarray, tau: float) -> np.ndarray:
-        """Targets within ``tau`` of ``source``; exact network distances on fallback."""
-        targets = np.asarray(targets, dtype=np.int64)
+    def prepare(self, targets: Union[np.ndarray, PreparedTargets]) -> PreparedTargets:
+        """Preprocess a target set for repeated kNN/range serving."""
+        return self.engine.prepare(targets)
+
+    def range_query(
+        self,
+        source: int,
+        targets: Union[np.ndarray, PreparedTargets],
+        tau: float,
+    ) -> np.ndarray:
+        """Targets within ``tau`` of ``source`` (ascending sorted ids).
+
+        Exact network distances on fallback; both modes follow the shared
+        range contract (sorted ids, duplicates deduplicated).
+        """
+        one = np.array([source], dtype=np.int64)
         if self.rne is not None:
             self.stats.model_queries += 1
-            return self.rne.range_query(source, targets, tau)
-        if tau < 0:
-            raise ValueError(f"tau must be >= 0, got {tau}")
+            return self.engine.range_query(one, targets, tau)[0]
         self.stats.fallback_queries += 1
-        dist = self._sssp(source)
-        return np.sort(targets[dist[targets] <= tau])
+        return self.engine.exact_range(one, targets, tau)[0]
 
-    def knn(self, source: int, targets: np.ndarray, k: int) -> np.ndarray:
-        """k nearest targets; exact on fallback."""
-        targets = np.asarray(targets, dtype=np.int64)
+    def knn(
+        self,
+        source: int,
+        targets: Union[np.ndarray, PreparedTargets],
+        k: int,
+    ) -> np.ndarray:
+        """k nearest targets; exact on fallback.
+
+        Both modes follow the shared kNN contract: ascending
+        ``(distance, id)`` order, ``min(k, #unique targets)`` results (the
+        exact path additionally excludes unreachable targets).
+        """
+        one = np.array([source], dtype=np.int64)
         if self.rne is not None:
             self.stats.model_queries += 1
-            return self.rne.knn(source, targets, k)
-        if k < 1:
-            raise ValueError(f"k must be >= 1, got {k}")
+            return self.engine.knn(one, targets, k)[0]
         self.stats.fallback_queries += 1
-        dist = self._sssp(source)
-        order = np.argsort(dist[targets], kind="stable")
-        return targets[order[: min(k, targets.size)]]
+        return self.engine.exact_knn(one, targets, k)[0]
+
+    def knn_batch(
+        self,
+        sources: np.ndarray,
+        targets: Union[np.ndarray, PreparedTargets],
+        k: int,
+    ) -> List[np.ndarray]:
+        """Batched kNN for many sources — one engine call either mode."""
+        sources = np.asarray(sources, dtype=np.int64)
+        if self.rne is not None:
+            self.stats.model_queries += sources.size
+            return self.engine.knn(sources, targets, k)
+        self.stats.fallback_queries += sources.size
+        return self.engine.exact_knn(sources, targets, k)
+
+    def range_batch(
+        self,
+        sources: np.ndarray,
+        targets: Union[np.ndarray, PreparedTargets],
+        tau: float,
+    ) -> List[np.ndarray]:
+        """Batched range query for many sources — one engine call either mode."""
+        sources = np.asarray(sources, dtype=np.int64)
+        if self.rne is not None:
+            self.stats.model_queries += sources.size
+            return self.engine.range_query(sources, targets, tau)
+        self.stats.fallback_queries += sources.size
+        return self.engine.exact_range(sources, targets, tau)
 
     def knn_join(self, sources: np.ndarray, targets: np.ndarray, k: int) -> np.ndarray:
-        """k nearest targets per source; one exact SSSP per source on fallback."""
+        """k nearest targets per source; one cached SSSP per source on fallback.
+
+        Returns a ``(len(sources), min(k, #unique targets))`` matrix in
+        ascending ``(distance, id)`` row order.  Unlike :meth:`knn_batch`
+        the fallback keeps unreachable targets (at infinite distance) so
+        rows stay rectangular.
+        """
         sources = np.asarray(sources, dtype=np.int64)
-        targets = np.asarray(targets, dtype=np.int64)
         if self.rne is not None:
             self.stats.model_queries += sources.size
             return self.rne.knn_join(sources, targets, k)
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         self.stats.fallback_queries += sources.size
+        targets = np.unique(np.asarray(targets, dtype=np.int64))
         k_eff = min(k, targets.size)
         out = np.empty((sources.size, k_eff), dtype=np.int64)
         for row, source in enumerate(sources):
             dist = self._sssp(int(source))
-            order = np.argsort(dist[targets], kind="stable")
+            order = np.lexsort((targets, dist[targets]))
             out[row] = targets[order[:k_eff]]
         return out
 
     def _sssp(self, source: int) -> np.ndarray:
-        dist = dijkstra(self.graph, int(source))
-        return np.asarray(dist, dtype=np.float64)
+        return self.engine.sssp_row(int(source))
+
+    # ------------------------------------------------------------------
+    # serving observability
+    # ------------------------------------------------------------------
+    def serving_snapshot(self) -> dict:
+        """Engine-level serving stats (latency percentiles, cache hit rates)."""
+        return self.engine.snapshot()
+
+    def serving_report(self) -> str:
+        """Human-readable serving stats table."""
+        return self.engine.report()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         mode = "model" if self.healthy else "fallback"

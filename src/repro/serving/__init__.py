@@ -1,0 +1,23 @@
+"""Batched query serving: engine, caching, micro-batching, observability.
+
+See ``docs/SERVING.md`` for the architecture and the result-ordering
+contract shared with :mod:`repro.core.index` and
+:mod:`repro.algorithms.knn`.
+"""
+
+from .cache import LRUCache
+from .engine import BatchQueryEngine
+from .frontdoor import MicroBatcher, Query, parse_query, serve_lines
+from .stats import LatencyHistogram, OpStats, ServingStats
+
+__all__ = [
+    "BatchQueryEngine",
+    "LRUCache",
+    "LatencyHistogram",
+    "MicroBatcher",
+    "OpStats",
+    "Query",
+    "ServingStats",
+    "parse_query",
+    "serve_lines",
+]

@@ -1,0 +1,99 @@
+"""Bounded LRU cache with hit/miss accounting for the serving engine.
+
+The engine caches two kinds of per-source state (see ``docs/SERVING.md``):
+
+* *hot rows* — embedding-distance vectors from a source to a prepared
+  target set, promoted after a source repeats, and
+* *fallback SSSP trees* — full exact distance arrays for degraded serving,
+  where one cached Dijkstra tree amortises every query from that source.
+
+Both are keyed by small tuples and hold numpy arrays; eviction is strict
+least-recently-used.  Counters are exposed so the observability layer can
+report hit rates per cache.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, Hashable, Optional
+
+__all__ = ["LRUCache"]
+
+_MISSING = object()
+
+
+class LRUCache:
+    """A fixed-capacity least-recently-used mapping with hit counters.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of entries.  ``0`` disables the cache entirely —
+        every lookup is a miss and nothing is ever stored.
+    name:
+        Label used in stats snapshots.
+    """
+
+    def __init__(self, capacity: int, *, name: str = "cache") -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = int(capacity)
+        self.name = name
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        """Membership test; does not touch recency or counters."""
+        return key in self._data
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        """Return the cached value (marking it most recent) or ``None``."""
+        value = self._data.get(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._data.move_to_end(key)
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert/update an entry, evicting the least recent beyond capacity."""
+        if self.capacity == 0:
+            return
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        while len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop all entries; counters are preserved."""
+        self._data.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-safe view of the cache's counters and occupancy."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+            "size": len(self._data),
+            "capacity": self.capacity,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LRUCache(name={self.name!r}, size={len(self._data)}/"
+            f"{self.capacity}, hit_rate={self.hit_rate:.3f})"
+        )

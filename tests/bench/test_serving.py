@@ -1,0 +1,35 @@
+"""Tests for the serving throughput/latency benchmark."""
+
+import json
+
+import pytest
+
+from repro.bench.serving import _best_seconds, serving_benchmark
+
+
+def test_best_seconds_returns_minimum_positive():
+    assert _best_seconds(lambda: None, repeats=2) > 0
+
+
+@pytest.mark.slow
+def test_fast_benchmark_schema_and_invariants(tmp_path):
+    out = tmp_path / "BENCH_serving.json"
+    results = serving_benchmark(fast=True, out_path=str(out))
+
+    assert results["fast"] is True
+    dist = results["distances"]
+    assert dist["speedup"] > 1.0
+    assert set(dist) >= {
+        "pairs", "loop_queries_per_second", "batch_queries_per_second",
+        "speedup", "meets_10x",
+    }
+    for op in ("knn", "range"):
+        assert results[op]["bit_identical"] is True
+        assert results[op]["sources"] > 0
+    assert 0.0 <= results["hot_row_hit_rate"] <= 1.0
+    assert "distances" in results["ops"]
+    assert "hot_rows" in results["caches"]
+    assert "report" in results
+
+    on_disk = json.loads(out.read_text())
+    assert on_disk["graph"]["vertices"] == results["graph"]["vertices"]

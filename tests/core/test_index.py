@@ -90,3 +90,68 @@ class TestKnn:
         targets = rng.choice(small_grid.n, size=20, replace=False)
         got = index.knn_query(2, targets, 8)
         assert len(set(got.tolist())) == len(got)
+
+
+class TestPreparedPaths:
+    def test_prepared_matches_one_shot(self, setup, small_grid, rng):
+        """prepare()-then-query is identical to the one-shot wrappers."""
+        _, _, index, _ = setup
+        targets = rng.choice(small_grid.n, size=20, replace=False)
+        prepared = index.prepare(targets)
+        for s in [0, 9, 31]:
+            np.testing.assert_array_equal(
+                index.knn_prepared(s, prepared, 4),
+                index.knn_query(s, targets, 4),
+            )
+            np.testing.assert_array_equal(
+                index.range_prepared(s, prepared, 3.0),
+                index.range_query(s, targets, 3.0),
+            )
+
+    def test_prepared_reusable_across_queries(self, setup, small_grid):
+        _, _, index, _ = setup
+        prepared = index.prepare(np.arange(0, small_grid.n, 2))
+        first = index.knn_prepared(3, prepared, 5)
+        second = index.knn_prepared(3, prepared, 5)
+        np.testing.assert_array_equal(first, second)
+
+    def test_duplicate_targets_treated_as_set(self, setup):
+        _, _, index, _ = setup
+        got = index.knn_query(0, np.array([7, 3, 7, 7, 3]), 10)
+        assert got.size == 2  # min(k, #unique targets)
+        assert len(set(got.tolist())) == 2
+
+    def test_empty_targets(self, setup):
+        _, _, index, _ = setup
+        empty = np.array([], dtype=np.int64)
+        assert index.knn_query(0, empty, 3).size == 0
+        assert index.range_query(0, empty, 5.0).size == 0
+
+
+class TestOrderingContract:
+    def test_knn_sorted_by_distance_then_id(self, setup, small_grid, rng):
+        _, _, index, model = setup
+        targets = rng.choice(small_grid.n, size=30, replace=False)
+        for s in [2, 19]:
+            got = index.knn_query(s, targets, 12)
+            d = model.distances_from(s, got)
+            keys = list(zip(d.tolist(), got.tolist()))
+            assert keys == sorted(keys)
+
+    def test_range_returns_sorted_ids(self, setup, small_grid, rng):
+        _, _, index, _ = setup
+        targets = rng.choice(small_grid.n, size=30, replace=False)
+        got = index.range_query(4, targets, 5.0)
+        np.testing.assert_array_equal(got, np.sort(got))
+
+    def test_exact_ties_break_by_id(self, small_grid):
+        """All-equal embeddings: every distance ties, ids decide the order."""
+        hierarchy = PartitionHierarchy(small_grid, fanout=4, leaf_size=8, seed=0)
+        index = EmbeddingTreeIndex(hierarchy, np.zeros((small_grid.n, 4)))
+        targets = np.array([9, 3, 17, 5], dtype=np.int64)
+        np.testing.assert_array_equal(
+            index.knn_query(0, targets, 3), [3, 5, 9]
+        )
+        np.testing.assert_array_equal(
+            index.range_query(0, targets, 0.0), [3, 5, 9, 17]
+        )

@@ -131,3 +131,58 @@ class TestStats:
         stats = OracleStats()
         assert stats.total_queries == 0
         assert stats.fallback_rate == 0.0
+
+
+class TestBatchedServing:
+    def test_healthy_batches_match_single_queries(self, rel_graph, artifact, rng):
+        oracle = ResilientOracle(rel_graph, str(artifact))
+        targets = rng.choice(rel_graph.n, size=12, replace=False)
+        sources = rng.integers(rel_graph.n, size=5)
+        for s, ids in zip(sources, oracle.knn_batch(sources, targets, 4)):
+            np.testing.assert_array_equal(ids, oracle.knn(int(s), targets, 4))
+        for s, ids in zip(sources, oracle.range_batch(sources, targets, 3.0)):
+            np.testing.assert_array_equal(
+                ids, oracle.range_query(int(s), targets, 3.0)
+            )
+
+    def test_degraded_batches_are_exact(self, rel_graph, artifact, rng):
+        from repro.algorithms.knn import knn_true, range_true
+
+        corrupt_file(artifact, seed=11, nbytes=8)
+        oracle = ResilientOracle(rel_graph, str(artifact))
+        assert not oracle.healthy
+        targets = rng.choice(rel_graph.n, size=10, replace=False)
+        sources = rng.integers(rel_graph.n, size=4)
+        for s, ids in zip(sources, oracle.knn_batch(sources, targets, 3)):
+            np.testing.assert_array_equal(
+                ids, knn_true(rel_graph, int(s), targets, 3)
+            )
+        for s, ids in zip(sources, oracle.range_batch(sources, targets, 4.0)):
+            np.testing.assert_array_equal(
+                ids, range_true(rel_graph, int(s), targets, 4.0)
+            )
+
+    def test_prepared_targets_flow_through(self, rel_graph, artifact, rng):
+        oracle = ResilientOracle(rel_graph, str(artifact))
+        targets = rng.choice(rel_graph.n, size=8, replace=False)
+        prepared = oracle.prepare(targets)
+        np.testing.assert_array_equal(
+            oracle.knn(2, prepared, 3), oracle.knn(2, targets, 3)
+        )
+
+    def test_serving_snapshot_and_report(self, rel_graph, artifact):
+        oracle = ResilientOracle(rel_graph, str(artifact))
+        oracle.query_pairs(np.array([[0, 1], [2, 3]]))
+        snap = oracle.serving_snapshot()
+        assert snap["ops"]["distances"]["items"] == 2
+        assert "hot_rows" in snap["caches"]
+        assert "sssp" in snap["caches"]
+        assert "distances" in oracle.serving_report()
+
+    def test_degraded_serving_uses_sssp_cache(self, rel_graph, artifact):
+        corrupt_file(artifact, seed=11, nbytes=8)
+        oracle = ResilientOracle(rel_graph, str(artifact))
+        pairs = np.array([[3, 1], [3, 2], [3, 4]])
+        oracle.query_pairs(pairs)
+        oracle.query_pairs(pairs)
+        assert oracle.serving_snapshot()["caches"]["sssp"]["hits"] >= 1

@@ -1,0 +1,91 @@
+"""Tests for the counting LRU cache behind the serving engine."""
+
+import pytest
+
+from repro.serving import LRUCache
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        cache = LRUCache(2, name="c")
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_contains_does_not_count(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        assert "a" in cache
+        assert "b" not in cache
+        assert cache.hits == 0
+        assert cache.misses == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(-1)
+
+    def test_update_existing_key_keeps_size(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("a", 2)
+        assert len(cache) == 1
+        assert cache.get("a") == 2
+
+
+class TestEviction:
+    def test_least_recent_evicted(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # "b" is now least recent
+        cache.put("c", 3)
+        assert "a" in cache
+        assert "b" not in cache
+        assert "c" in cache
+        assert cache.evictions == 1
+
+    def test_put_refreshes_recency(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # "b" is now least recent
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert cache.get("a") == 10
+
+
+class TestDisabledAndClear:
+    def test_capacity_zero_disables(self):
+        cache = LRUCache(0)
+        cache.put("a", 1)
+        assert len(cache) == 0
+        assert cache.get("a") is None  # put stored nothing
+        assert cache.misses == 1
+        assert cache.evictions == 0
+
+    def test_clear_keeps_counters(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 1
+        assert cache.get("a") is None
+
+    def test_snapshot_fields(self):
+        cache = LRUCache(4, name="hot")
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("b")
+        snap = cache.snapshot()
+        assert snap == {
+            "hits": 1,
+            "misses": 1,
+            "evictions": 0,
+            "hit_rate": 0.5,
+            "size": 1,
+            "capacity": 4,
+        }

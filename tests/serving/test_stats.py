@@ -1,0 +1,109 @@
+"""Tests for serving observability: histograms, op counters, snapshots."""
+
+import pytest
+
+from repro.serving import LatencyHistogram, LRUCache, OpStats, ServingStats
+
+
+class TestLatencyHistogram:
+    def test_empty(self):
+        h = LatencyHistogram()
+        assert h.percentile(50) == 0.0
+        assert h.mean == 0.0
+        assert h.count == 0
+        assert h.min is None and h.max is None
+
+    def test_percentile_is_conservative(self):
+        """Reported percentiles never understate the recorded sample."""
+        h = LatencyHistogram()
+        for value in (1e-4, 2e-4, 3e-4, 5e-3):
+            h.record(value)
+        assert h.percentile(50) >= 2e-4
+        assert h.percentile(99) >= 5e-3
+        # ...but stays within one log-bin (factor 10^(1/8)) of the truth.
+        assert h.percentile(99) <= 5e-3 * 10 ** (1 / 8)
+
+    def test_min_max_mean_exact(self):
+        h = LatencyHistogram()
+        h.record(0.001)
+        h.record(0.003)
+        assert h.min == 0.001
+        assert h.max == 0.003
+        assert h.mean == pytest.approx(0.002)
+
+    def test_overflow_reports_exact_max(self):
+        h = LatencyHistogram(hi=1.0)
+        h.record(50.0)  # beyond the top edge
+        assert h.percentile(99) == 50.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram(lo=1.0, hi=0.5)
+        with pytest.raises(ValueError):
+            LatencyHistogram(bins_per_decade=0)
+        h = LatencyHistogram()
+        with pytest.raises(ValueError):
+            h.record(-1.0)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+
+class TestOpStats:
+    def test_counters_and_throughput(self):
+        op = OpStats()
+        op.record(0.5, 100)
+        op.record(0.5, 300)
+        assert op.calls == 2
+        assert op.items == 400
+        assert op.queries_per_second == pytest.approx(400.0)
+
+    def test_snapshot_keys(self):
+        op = OpStats()
+        op.record(0.001, 10)
+        snap = op.snapshot()
+        assert set(snap) == {
+            "calls", "items", "seconds", "p50_us", "p99_us",
+            "mean_us", "max_us", "queries_per_second",
+        }
+        assert snap["p50_us"] >= 1000.0  # conservative upper edge
+        assert snap["max_us"] == pytest.approx(1000.0)
+
+    def test_zero_time_throughput(self):
+        assert OpStats().queries_per_second == 0.0
+
+
+class TestServingStats:
+    def test_timed_records_against_op(self):
+        stats = ServingStats()
+        with stats.timed("knn", 7):
+            pass
+        assert stats.op("knn").calls == 1
+        assert stats.op("knn").items == 7
+
+    def test_timed_records_on_exception(self):
+        stats = ServingStats()
+        with pytest.raises(RuntimeError):
+            with stats.timed("boom", 1):
+                raise RuntimeError("x")
+        assert stats.op("boom").calls == 1
+
+    def test_snapshot_includes_caches(self):
+        stats = ServingStats()
+        cache = stats.register_cache(LRUCache(4, name="hot_rows"))
+        cache.put("a", 1)
+        cache.get("a")
+        with stats.timed("distances", 3):
+            pass
+        snap = stats.snapshot()
+        assert snap["ops"]["distances"]["items"] == 3
+        assert snap["caches"]["hot_rows"]["hits"] == 1
+
+    def test_report_mentions_ops_and_caches(self):
+        stats = ServingStats()
+        stats.register_cache(LRUCache(4, name="hot_rows"))
+        with stats.timed("range", 2):
+            pass
+        text = stats.report()
+        assert "range" in text
+        assert "hot_rows" in text
+        assert "hit_rate" in text

@@ -88,3 +88,54 @@ class TestTrainCommand:
         assert main(args + ["--resume"]) == 0
         second = capsys.readouterr().out
         assert "resumed from checkpoint" in second
+
+
+class TestServingCli:
+    def test_query_inline_exact_only(self, capsys):
+        assert main(["query", "--size", "6", "dist 0 5"]) == 0
+        captured = capsys.readouterr()
+        assert float(captured.out.strip()) > 0
+        assert "distances" in captured.err  # stats table on stderr
+
+    def test_query_with_target_set(self, capsys):
+        rc = main(["query", "--size", "6", "--targets", "0,5,9", "knn 0 2"])
+        assert rc == 0
+        out = capsys.readouterr().out.strip()
+        assert len(out.split()) == 2
+
+    def test_query_malformed_line_is_error_answer(self, capsys):
+        assert main(["query", "--size", "6", "bogus 1 2"]) == 0
+        assert capsys.readouterr().out.startswith("error: unknown operation")
+
+    def test_query_requires_input(self, capsys):
+        assert main(["query", "--size", "6"]) == 2
+        assert "inline queries or --batch" in capsys.readouterr().err
+
+    def test_query_batch_file(self, tmp_path, capsys):
+        batch = tmp_path / "queries.txt"
+        batch.write_text("# header\ndist 0 1\nrange 0 0\n")
+        assert main(["query", "--size", "6", "--batch", str(batch)]) == 0
+        out = capsys.readouterr().out.splitlines()
+        assert len(out) == 2
+
+    def test_serve_reads_stdin_and_writes_stats(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import io
+        import json
+
+        stats_path = tmp_path / "stats.json"
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO("dist 0 5\ndist 1 5\n")
+        )
+        rc = main(
+            ["serve", "--size", "6", "--stats-out", str(stats_path)]
+        )
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert len(captured.out.splitlines()) == 2
+        snap = json.loads(stats_path.read_text())
+        assert snap["ops"]["exact_distances"]["items"] == 2
+
+    def test_serving_experiment_registered(self):
+        assert "serving" in EXPERIMENTS
