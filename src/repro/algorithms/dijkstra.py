@@ -16,6 +16,7 @@ from __future__ import annotations
 import heapq
 
 import numpy as np
+from scipy import sparse
 from scipy.sparse import csgraph
 
 from ..graph import Graph
@@ -134,6 +135,23 @@ def bidirectional_dijkstra(graph: Graph, source: int, target: int) -> float:
     return best
 
 
+def sssp_rows(matrix: sparse.csr_matrix, sources: np.ndarray) -> np.ndarray:
+    """Distance rows for ``sources`` against a prebuilt scipy CSR matrix.
+
+    This is the single SSSP kernel shared by the serial labelling path and
+    the :mod:`repro.parallel` worker processes — both call exactly this
+    function on bit-identical CSR arrays, which is what makes the parallel
+    gather bit-identical to the serial one regardless of worker count.
+    """
+    sources = np.asarray(sources, dtype=np.int64)
+    if sources.size == 0:
+        return np.empty((0, int(matrix.shape[0])), dtype=np.float64)
+    return np.asarray(
+        csgraph.dijkstra(matrix, directed=False, indices=sources),
+        dtype=np.float64,
+    )
+
+
 def sssp_many(graph: Graph, sources: np.ndarray | list[int]) -> np.ndarray:
     """Distances from each source to every vertex, via scipy's C Dijkstra.
 
@@ -144,9 +162,7 @@ def sssp_many(graph: Graph, sources: np.ndarray | list[int]) -> np.ndarray:
     sources = np.asarray(sources, dtype=np.int64)
     if sources.size == 0:
         return np.empty((0, graph.n), dtype=np.float64)
-    return csgraph.dijkstra(
-        graph.to_csr_matrix(), directed=False, indices=sources
-    )
+    return sssp_rows(graph.to_csr_matrix(), sources)
 
 
 def pair_distances(graph: Graph, pairs: np.ndarray) -> np.ndarray:

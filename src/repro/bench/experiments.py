@@ -727,6 +727,12 @@ def _serving_runner(**kw) -> str:
     return serving_benchmark(**kw)["report"]
 
 
+def _labeling_runner(**kw) -> str:
+    from .labeling import labeling_benchmark
+
+    return labeling_benchmark(**kw)["report"]
+
+
 def _ablation_runner(name: str):
     def run(**kw):
         from . import ablations
@@ -751,6 +757,7 @@ EXPERIMENTS = {
     "fig16": lambda **kw: fig16_range_knn(**kw)["report"],
     "fig17": lambda **kw: fig17_error_vs_distance(**kw)["report"],
     "serving": lambda **kw: _serving_runner(**kw),
+    "labeling": lambda **kw: _labeling_runner(**kw),
     "ablate-joint": _ablation_runner("ablate_joint_pass"),
     "ablate-optimizer": _ablation_runner("ablate_optimizer"),
     "ablate-landmarks": _ablation_runner("ablate_landmark_strategy"),

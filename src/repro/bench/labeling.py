@@ -1,0 +1,216 @@
+"""Ground-truth labelling benchmark — produces ``BENCH_labeling.json``.
+
+Measures, on a generated road network (>= 50k vertices at full scale):
+
+* **parallel SSSP throughput** — ``SSSPWorkerPool.sssp_many`` at several
+  worker counts versus the serial kernel, with bit-identity asserted on
+  every gather (the acceptance criterion is a >= 2x speedup at 4 workers
+  on a multi-core host),
+* **labeler parity** — :class:`ParallelDistanceLabeler` versus the serial
+  :class:`DistanceLabeler` on the same pair workload: identical labels,
+  identical ``sssp_runs`` / ``cache_hits`` accounting,
+* **sampling budgets** — every selection strategy delivers exactly the
+  requested number of pairs,
+
+and records pool utilization plus the host's CPU budget (a single-core
+machine cannot show a wall-clock speedup no matter how correct the pool
+is, so ``cpu_count`` is part of the result) into a JSON file (default
+``benchmarks/results/BENCH_labeling.json``) plus a text report.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from ..algorithms.dijkstra import sssp_many
+from ..core.sampling import (
+    DistanceLabeler,
+    GridBuckets,
+    landmark_samples,
+    random_pair_samples,
+)
+from ..graph.generators import grid_city
+from ..parallel import ParallelDistanceLabeler, SSSPWorkerPool
+from .reporting import format_table
+
+__all__ = ["labeling_benchmark"]
+
+
+def _cpu_count() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover — non-Linux hosts
+        return os.cpu_count() or 1
+
+
+def _default_out_path() -> str:
+    candidate = os.path.join("benchmarks", "results")
+    directory = candidate if os.path.isdir(candidate) else "."
+    return os.path.join(directory, "BENCH_labeling.json")
+
+
+def labeling_benchmark(
+    *,
+    fast: bool = False,
+    out_path: Optional[str] = None,
+    seed: int = 0,
+    worker_counts: tuple = (2, 4),
+) -> Dict[str, Any]:
+    """Run the labelling benchmark; returns the results dict (incl. report)."""
+    side = 24 if fast else 224  # full scale: 224^2 ~ 50k vertices
+    num_sources = 16 if fast else 64
+    num_pairs = 2_000 if fast else 50_000
+    rng = np.random.default_rng(seed)
+
+    graph = grid_city(side, side, seed=seed)
+    sources = rng.choice(graph.n, size=min(num_sources, graph.n), replace=False).astype(
+        np.int64
+    )
+
+    results: Dict[str, Any] = {
+        "graph": {"vertices": graph.n, "edges": graph.m, "side": side},
+        "fast": fast,
+        "cpu_count": _cpu_count(),
+    }
+
+    # -- parallel SSSP throughput vs the serial kernel -------------------
+    start = time.perf_counter()
+    serial_rows = sssp_many(graph, sources)
+    serial_seconds = time.perf_counter() - start
+    serial_rate = sources.size / serial_seconds
+    results["sssp"] = {
+        "sources": int(sources.size),
+        "serial_seconds": serial_seconds,
+        "serial_sources_per_second": serial_rate,
+        "workers": {},
+    }
+    for workers in worker_counts:
+        with SSSPWorkerPool(graph, int(workers)) as pool:
+            pool.sssp_many(sources[:2])  # warm the workers up
+            start = time.perf_counter()
+            rows = pool.sssp_many(sources)
+            seconds = time.perf_counter() - start
+            if not np.array_equal(rows, serial_rows):
+                raise AssertionError(
+                    f"parallel SSSP rows diverged from serial at {workers} workers"
+                )
+            results["sssp"]["workers"][str(int(workers))] = {
+                "seconds": seconds,
+                "sources_per_second": sources.size / seconds,
+                "speedup_vs_serial": serial_seconds / seconds,
+                "utilization": pool.stats.utilization,
+                "bit_identical": True,
+            }
+
+    # -- labeler parity: labels + accounting must match serial exactly ---
+    pairs = rng.integers(0, graph.n, size=(num_pairs, 2)).astype(np.int64)
+    # Narrow the source pool so the cache-hit path is exercised too.
+    pairs[:, 0] = sources[pairs[:, 0] % sources.size]
+    serial_labeler = DistanceLabeler(graph, cache_size=256)
+    serial_labels = serial_labeler.label(pairs)
+    serial_labeler.label(pairs[: num_pairs // 2])  # warm-cache second pass
+    parity: Dict[str, Any] = {"pairs": int(num_pairs)}
+    for workers in worker_counts:
+        with ParallelDistanceLabeler(
+            graph, workers=int(workers), cache_size=256
+        ) as labeler:
+            labels = labeler.label(pairs)
+            labeler.label(pairs[: num_pairs // 2])
+            snap = labeler.snapshot()
+            parity[str(int(workers))] = {
+                "labels_identical": bool(np.array_equal(labels, serial_labels)),
+                "sssp_runs_match": snap["sssp_runs"] == serial_labeler.sssp_runs,
+                "cache_hits_match": snap["cache_hits"] == serial_labeler.cache_hits,
+                "mode": snap["mode"],
+            }
+    results["labeler_parity"] = parity
+
+    # -- sampling budgets: every strategy delivers the exact count -------
+    budget = 500 if fast else 5_000
+    labeler = DistanceLabeler(graph)
+    landmarks = rng.choice(graph.n, size=min(32, graph.n), replace=False).astype(
+        np.int64
+    )
+    got_random, _ = random_pair_samples(
+        graph, budget, labeler, np.random.default_rng(seed + 1)
+    )
+    got_landmark, _ = landmark_samples(
+        graph, landmarks, budget, labeler, np.random.default_rng(seed + 2)
+    )
+    buckets = GridBuckets(graph, 8, seed=seed + 3)
+    got_bucket = buckets.sample(
+        int(buckets.nonempty_buckets()[0]), budget, np.random.default_rng(seed + 4)
+    )
+    results["sampling_budgets"] = {
+        "requested": budget,
+        "random_pairs": int(got_random.shape[0]),
+        "landmark_pairs": int(got_landmark.shape[0]),
+        "grid_bucket_pairs": int(got_bucket.shape[0]),
+        "all_exact": bool(
+            got_random.shape[0] == budget
+            and got_landmark.shape[0] == budget
+            and got_bucket.shape[0] == budget
+        ),
+    }
+
+    path = out_path if out_path is not None else _default_out_path()
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(results, fh, indent=2, sort_keys=True)
+    results["out_path"] = path
+
+    rows: List[List[str]] = [
+        ["serial", f"{serial_rate:,.1f}", "1.0x", "-", "-"]
+    ]
+    for workers, rec in results["sssp"]["workers"].items():
+        rows.append(
+            [
+                f"{workers} workers",
+                f"{rec['sources_per_second']:,.1f}",
+                f"{rec['speedup_vs_serial']:.2f}x",
+                f"{rec['utilization']:.2f}",
+                "yes" if rec["bit_identical"] else "NO",
+            ]
+        )
+    parity_rows = [
+        [
+            f"{workers} workers",
+            "yes" if rec["labels_identical"] else "NO",
+            "yes" if rec["sssp_runs_match"] else "NO",
+            "yes" if rec["cache_hits_match"] else "NO",
+        ]
+        for workers, rec in parity.items()
+        if isinstance(rec, dict)
+    ]
+    budgets = results["sampling_budgets"]
+    report = "\n\n".join(
+        [
+            format_table(
+                ["config", "sources/s", "speedup", "utilization", "identical"],
+                rows,
+                title=(
+                    f"SSSP labelling throughput — {graph.n} vertices, "
+                    f"{sources.size} sources ({results['cpu_count']} CPU core(s))"
+                ),
+            ),
+            format_table(
+                ["config", "labels", "sssp_runs", "cache_hits"],
+                parity_rows,
+                title=f"Labeler parity vs serial — {num_pairs} pairs",
+            ),
+            (
+                f"sampling budgets: requested {budgets['requested']}, "
+                f"random {budgets['random_pairs']}, "
+                f"landmark {budgets['landmark_pairs']}, "
+                f"grid-bucket {budgets['grid_bucket_pairs']} "
+                f"({'exact' if budgets['all_exact'] else 'SHORTFALL'})"
+            ),
+            f"stats written to {path}",
+        ]
+    )
+    results["report"] = report
+    return results

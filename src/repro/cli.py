@@ -76,6 +76,21 @@ def _run_train(argv: list[str]) -> int:
     )
     parser.add_argument("--size", type=int, default=16, help="grid side length")
     parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "ground-truth labelling worker processes (default: REPRO_WORKERS "
+            "env var, else serial); the trained model is bit-identical for "
+            "any value"
+        ),
+    )
+    parser.add_argument(
+        "--no-prefetch",
+        action="store_true",
+        help="disable overlapping sample labelling with SGD epochs",
+    )
     args = parser.parse_args(argv)
 
     if args.resume and args.checkpoint_dir is None:
@@ -90,7 +105,11 @@ def _run_train(argv: list[str]) -> int:
     try:
         rne = build_rne(
             graph,
-            RNEConfig(seed=args.seed),
+            RNEConfig(
+                seed=args.seed,
+                workers=args.workers,
+                prefetch=not args.no_prefetch,
+            ),
             checkpoint_dir=args.checkpoint_dir,
             resume=args.resume,
         )
@@ -100,6 +119,14 @@ def _run_train(argv: list[str]) -> int:
     rne.save(args.out)
     for note in rne.history.notes:
         print(f"note: {note}")
+    labeling = rne.history.labeling
+    if labeling:
+        print(
+            f"labeling: mode={labeling.get('mode')} "
+            f"sssp_runs={labeling.get('sssp_runs')} "
+            f"cache_hits={labeling.get('cache_hits')} "
+            f"label_seconds={labeling.get('label_seconds', 0.0):.2f}"
+        )
     print(
         f"trained on {graph.n} vertices, final mean relative error "
         f"{rne.history.phase_errors['final'] * 100:.2f}%, saved to {args.out}"

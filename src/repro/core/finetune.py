@@ -43,6 +43,9 @@ class FinetuneResult:
 
     mean_rel_errors: list[float] = field(default_factory=list)
     bucket_errors: list[np.ndarray] = field(default_factory=list)
+    #: Labelling cost attributable to this loop (labeler-counter deltas).
+    sssp_runs: int = 0
+    pairs_labelled: int = 0
 
     @property
     def rounds(self) -> int:
@@ -115,6 +118,8 @@ def active_finetune(
     adapter = _ModelAdapter(model, config)
     val_bucket_ids = buckets.bucket_of_pairs(val_pairs)
     result = FinetuneResult()
+    runs_before = labeler.sssp_runs
+    pairs_before = labeler.pairs_labelled
 
     best_err = np.inf
     best_snapshot: np.ndarray | None = None
@@ -145,4 +150,6 @@ def active_finetune(
     result.bucket_errors.append(rel)
     if keep_best and best_snapshot is not None and mean_rel > best_err:
         adapter.restore(best_snapshot)
+    result.sssp_runs = labeler.sssp_runs - runs_before
+    result.pairs_labelled = labeler.pairs_labelled - pairs_before
     return result

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import os
 import time
+import zlib
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Sequence
 
@@ -26,6 +27,7 @@ import numpy as np
 
 from ..algorithms.landmarks import select_landmarks
 from ..graph import Graph, PartitionHierarchy
+from ..parallel import PrefetchPipeline, make_labeler, resolve_workers
 from ..reliability.artifacts import (
     ArtifactError,
     load_artifact,
@@ -105,6 +107,13 @@ class RNEConfig:
     optimizer: str = "adam"
     lr: float = 0.02
     batch_size: int = 2048
+    # data pipeline: `workers=None` defers to the REPRO_WORKERS environment
+    # variable (default serial); `prefetch` overlaps phase-(k+1) sample
+    # labelling with phase-k SGD epochs.  Neither affects trained values:
+    # sampling uses per-stage RNG streams and the parallel labeler is
+    # bit-identical to the serial one.
+    workers: int | None = None
+    prefetch: bool = True
     # evaluation
     validation_size: int = 4000
     seed: int = 0
@@ -123,10 +132,12 @@ class BuildHistory:
     """Everything measured during construction."""
 
     phase_errors: dict[str, float] = field(default_factory=dict)
+    phase_seconds: dict[str, float] = field(default_factory=dict)
     train_results: dict[str, TrainResult] = field(default_factory=dict)
     finetune: FinetuneResult | None = None
     build_seconds: float = 0.0
     sssp_runs: int = 0
+    labeling: dict[str, Any] = field(default_factory=dict)
     notes: list[str] = field(default_factory=list)
 
 
@@ -266,6 +277,19 @@ def _mean_distance_probe(
     return float(np.mean(phi)) if phi.size else 1.0
 
 
+def _stage_rng(seed: int, stage: str) -> np.random.Generator:
+    """Independent sample stream for ``stage``, derived statelessly from the
+    run seed.
+
+    Decoupling sample generation from the main training RNG is what makes
+    the prefetching pipeline deterministic: a stage's samples are identical
+    whether they are drawn eagerly on the background thread, lazily on the
+    caller thread, or re-derived by a resumed run — the stream depends only
+    on ``(seed, stage name)``, never on when the draw happens.
+    """
+    return np.random.default_rng([seed, zlib.crc32(stage.encode("utf-8"))])
+
+
 def build_rne(
     graph: Graph,
     config: RNEConfig | None = None,
@@ -288,13 +312,18 @@ def build_rne(
     position.  Each training stage also runs under divergence recovery:
     non-finite or regressing loss rolls the stage back and retries at a
     reduced learning rate (see :mod:`repro.reliability.checkpoint`).
+
+    ``config.workers`` fans ground-truth labelling over a process pool and
+    ``config.prefetch`` overlaps each phase's sample labelling with the
+    previous phase's SGD epochs (see :mod:`repro.parallel`); both are pure
+    speed knobs — the trained embedding is bit-identical for any setting.
     """
     if config is None:
         config = RNEConfig()
     if seed is not None:
         config = replace(config, seed=seed)
     rng = np.random.default_rng(config.seed)
-    labeler = DistanceLabeler(graph)
+    labeler = make_labeler(graph, workers=config.workers)
     history = BuildHistory()
     start = time.perf_counter()
     manager = (
@@ -303,21 +332,26 @@ def build_rne(
         else None
     )
 
-    val_pairs, val_phi = validation_set(
-        graph, config.validation_size, labeler, seed=np.random.default_rng(config.seed + 99)
-    )
-    mean_phi = _mean_distance_probe(graph, labeler, rng)
+    try:
+        val_pairs, val_phi = validation_set(
+            graph, config.validation_size, labeler,
+            seed=np.random.default_rng(config.seed + 99),
+        )
+        mean_phi = _mean_distance_probe(graph, labeler, rng)
 
-    if config.hierarchical:
-        model, hierarchy = _build_hierarchical(
-            graph, config, rng, labeler, history, val_pairs, val_phi, mean_phi,
-            manager=manager, resume=resume,
-        )
-    else:
-        model, hierarchy = _build_flat(
-            graph, config, rng, labeler, history, val_pairs, val_phi, mean_phi,
-            manager=manager, resume=resume,
-        )
+        if config.hierarchical:
+            model, hierarchy = _build_hierarchical(
+                graph, config, rng, labeler, history, val_pairs, val_phi, mean_phi,
+                manager=manager, resume=resume,
+            )
+        else:
+            model, hierarchy = _build_flat(
+                graph, config, rng, labeler, history, val_pairs, val_phi, mean_phi,
+                manager=manager, resume=resume,
+            )
+        history.labeling = labeler.snapshot()
+    finally:
+        labeler.close()
 
     history.build_seconds = time.perf_counter() - start
     history.sssp_runs = labeler.sssp_runs
@@ -339,6 +373,7 @@ def _serialize_history(history: BuildHistory) -> dict[str, Any]:
     """JSON-safe fragment of the build history for checkpoint manifests."""
     return {
         "phase_errors": {k: float(v) for k, v in history.phase_errors.items()},
+        "phase_seconds": {k: float(v) for k, v in history.phase_seconds.items()},
         "train_results": {
             name: {"mse": list(res.mse), "mean_rel_error": list(res.mean_rel_error)}
             for name, res in history.train_results.items()
@@ -355,6 +390,9 @@ def _serialize_history(history: BuildHistory) -> dict[str, Any]:
 def _restore_history(history: BuildHistory, meta: dict[str, Any]) -> None:
     history.phase_errors.update(
         {k: float(v) for k, v in meta.get("phase_errors", {}).items()}
+    )
+    history.phase_seconds.update(
+        {k: float(v) for k, v in meta.get("phase_seconds", {}).items()}
     )
     for name, payload in meta.get("train_results", {}).items():
         history.train_results[name] = TrainResult(
@@ -492,107 +530,163 @@ def _build_hierarchical(
             return
         arrays, meta = pack_state(hmodel.locals, adam)
         meta["rng_state"] = rng_state(rng)
+        meta["worker_config"] = {
+            "workers": resolve_workers(config.workers),
+            "prefetch": bool(config.prefetch),
+        }
         meta.update(_serialize_history(history))
         manager.save(name, arrays, meta, step=stage_names.index(name))
 
-    # Phase 1: level-by-level hierarchy embedding.
+    # Sample generation + labelling for every pending training stage is
+    # queued on the prefetch pipeline: each job draws from its own
+    # per-stage RNG stream (see _stage_rng), so phase-(k+1) labelling can
+    # run on the background thread while phase-k SGD epochs consume the
+    # main RNG — bit-identical to the synchronous order either way.
+    pipeline = PrefetchPipeline(enabled=config.prefetch)
     for focus in range(hierarchy.num_subgraph_levels):
         name = f"hier_level_{focus}"
-        if not pending(name):
-            continue
-        pairs, phi = subgraph_level_samples(
-            hierarchy, focus, config.hier_samples_per_level, labeler, rng
-        )
-        schedule = level_schedule(focus, hmodel.num_levels)
-
-        def attempt(
-            lr_scale: float,
-            _pairs: np.ndarray = pairs,
-            _phi: np.ndarray = phi,
-            _schedule: np.ndarray = schedule,
-            _name: str = name,
-        ) -> TrainResult:
-            return train_hierarchical(
-                hmodel,
-                _pairs,
-                _phi,
-                _schedule,
-                config.train_config(config.hier_epochs, lr=config.lr * lr_scale),
-                rng,
-                adam_states=adam,
-                on_epoch=abort_on_nonfinite(_name),
+        if pending(name):
+            pipeline.add(
+                name,
+                lambda _f=focus, _n=name: subgraph_level_samples(
+                    hierarchy,
+                    _f,
+                    config.hier_samples_per_level,
+                    labeler,
+                    _stage_rng(config.seed, _n),
+                ),
             )
-
-        history.train_results[name] = run_stage(name, attempt)
-        if focus == hierarchy.num_subgraph_levels - 1:
-            history.phase_errors["after_hierarchy"] = error_report(
-                hmodel.query_pairs(val_pairs), val_phi
-            ).mean_rel
-        checkpoint(name)
-
-    # Phase 2: vertex embedding on landmark samples, coarse levels frozen.
     if pending("vertex"):
         landmarks = select_landmarks(
             graph,
             min(config.num_landmarks, graph.n),
             strategy=config.landmark_strategy,
-            seed=rng,
+            seed=_stage_rng(config.seed, "landmarks"),
         )
-        pairs, phi = landmark_samples(
-            graph, landmarks, config.vertex_samples, labeler, rng
+        pipeline.add(
+            "vertex",
+            lambda _lm=landmarks: landmark_samples(
+                graph,
+                _lm,
+                config.vertex_samples,
+                labeler,
+                _stage_rng(config.seed, "vertex"),
+            ),
         )
-
-        def attempt_vertex(
-            lr_scale: float, _pairs: np.ndarray = pairs, _phi: np.ndarray = phi
-        ) -> TrainResult:
-            return train_hierarchical(
-                hmodel,
-                _pairs,
-                _phi,
-                vertex_only_schedule(hmodel.num_levels),
-                config.train_config(config.vertex_epochs, lr=config.lr * lr_scale),
-                rng,
-                adam_states=adam,
-                on_epoch=abort_on_nonfinite("vertex"),
-            )
-
-        history.train_results["vertex"] = run_stage("vertex", attempt_vertex)
-        history.phase_errors["after_vertex"] = error_report(
-            hmodel.query_pairs(val_pairs), val_phi
-        ).mean_rel
-        checkpoint("vertex")
-
-    # Phase 2.5: joint all-level polish on random pairs.
     if config.joint_epochs > 0 and pending("joint"):
-        pairs, phi = random_pair_samples(graph, config.joint_samples, labeler, rng)
+        pipeline.add(
+            "joint",
+            lambda: random_pair_samples(
+                graph,
+                config.joint_samples,
+                labeler,
+                _stage_rng(config.seed, "joint"),
+            ),
+        )
+    pipeline.start()
 
-        def attempt_joint(
-            lr_scale: float, _pairs: np.ndarray = pairs, _phi: np.ndarray = phi
-        ) -> TrainResult:
-            return train_hierarchical(
-                hmodel,
-                _pairs,
-                _phi,
-                np.full(hmodel.num_levels, config.joint_lr_weight, dtype=np.float64),
-                config.train_config(config.joint_epochs, lr=config.lr * lr_scale),
-                rng,
-                adam_states=adam,
-                on_epoch=abort_on_nonfinite("joint"),
-            )
+    try:
+        # Phase 1: level-by-level hierarchy embedding.
+        for focus in range(hierarchy.num_subgraph_levels):
+            name = f"hier_level_{focus}"
+            if not pending(name):
+                continue
+            stage_start = time.perf_counter()
+            pairs, phi = pipeline.get(name)
+            schedule = level_schedule(focus, hmodel.num_levels)
 
-        history.train_results["joint"] = run_stage("joint", attempt_joint)
-        history.phase_errors["after_joint"] = error_report(
-            hmodel.query_pairs(val_pairs), val_phi
-        ).mean_rel
-        checkpoint("joint")
+            def attempt(
+                lr_scale: float,
+                _pairs: np.ndarray = pairs,
+                _phi: np.ndarray = phi,
+                _schedule: np.ndarray = schedule,
+                _name: str = name,
+            ) -> TrainResult:
+                return train_hierarchical(
+                    hmodel,
+                    _pairs,
+                    _phi,
+                    _schedule,
+                    config.train_config(config.hier_epochs, lr=config.lr * lr_scale),
+                    rng,
+                    adam_states=adam,
+                    on_epoch=abort_on_nonfinite(_name),
+                )
 
-    # Phase 3: active fine-tuning on grid buckets.
+            history.train_results[name] = run_stage(name, attempt)
+            history.phase_seconds[name] = time.perf_counter() - stage_start
+            if focus == hierarchy.num_subgraph_levels - 1:
+                history.phase_errors["after_hierarchy"] = error_report(
+                    hmodel.query_pairs(val_pairs), val_phi
+                ).mean_rel
+            checkpoint(name)
+
+        # Phase 2: vertex embedding on landmark samples, coarse levels frozen.
+        if pending("vertex"):
+            stage_start = time.perf_counter()
+            pairs, phi = pipeline.get("vertex")
+
+            def attempt_vertex(
+                lr_scale: float, _pairs: np.ndarray = pairs, _phi: np.ndarray = phi
+            ) -> TrainResult:
+                return train_hierarchical(
+                    hmodel,
+                    _pairs,
+                    _phi,
+                    vertex_only_schedule(hmodel.num_levels),
+                    config.train_config(config.vertex_epochs, lr=config.lr * lr_scale),
+                    rng,
+                    adam_states=adam,
+                    on_epoch=abort_on_nonfinite("vertex"),
+                )
+
+            history.train_results["vertex"] = run_stage("vertex", attempt_vertex)
+            history.phase_seconds["vertex"] = time.perf_counter() - stage_start
+            history.phase_errors["after_vertex"] = error_report(
+                hmodel.query_pairs(val_pairs), val_phi
+            ).mean_rel
+            checkpoint("vertex")
+
+        # Phase 2.5: joint all-level polish on random pairs.
+        if config.joint_epochs > 0 and pending("joint"):
+            stage_start = time.perf_counter()
+            pairs, phi = pipeline.get("joint")
+
+            def attempt_joint(
+                lr_scale: float, _pairs: np.ndarray = pairs, _phi: np.ndarray = phi
+            ) -> TrainResult:
+                return train_hierarchical(
+                    hmodel,
+                    _pairs,
+                    _phi,
+                    np.full(
+                        hmodel.num_levels, config.joint_lr_weight, dtype=np.float64
+                    ),
+                    config.train_config(config.joint_epochs, lr=config.lr * lr_scale),
+                    rng,
+                    adam_states=adam,
+                    on_epoch=abort_on_nonfinite("joint"),
+                )
+
+            history.train_results["joint"] = run_stage("joint", attempt_joint)
+            history.phase_seconds["joint"] = time.perf_counter() - stage_start
+            history.phase_errors["after_joint"] = error_report(
+                hmodel.query_pairs(val_pairs), val_phi
+            ).mean_rel
+            checkpoint("joint")
+    finally:
+        pipeline.close()
+
+    # Phase 3: active fine-tuning on grid buckets.  Error-driven selection
+    # depends on the live model, so it cannot be prefetched; it runs on the
+    # main RNG stream like the training loops.
     if config.active:
         if graph.coords is None:
             note = "graph has no coordinates: fine-tuning skipped"
             if note not in history.notes:
                 history.notes.append(note)
         elif pending("finetune"):
+            stage_start = time.perf_counter()
             buckets = GridBuckets(graph, config.grid_k, seed=rng)
 
             def attempt_finetune(lr_scale: float) -> FinetuneResult:
@@ -614,6 +708,7 @@ def _build_hierarchical(
                 attempt_finetune,
                 history_of=lambda r: r.mean_rel_errors,
             )
+            history.phase_seconds["finetune"] = time.perf_counter() - stage_start
             history.phase_errors["after_finetune"] = history.finetune.mean_rel_errors[-1]
             checkpoint("finetune")
 
@@ -668,14 +763,23 @@ def _build_flat(
             return
         arrays, meta = pack_state([model.matrix])
         meta["rng_state"] = rng_state(rng)
+        meta["worker_config"] = {
+            "workers": resolve_workers(config.workers),
+            "prefetch": bool(config.prefetch),
+        }
         meta.update(_serialize_history(history))
         manager.save(name, arrays, meta, step=stage_names.index(name))
 
     if resume_step < 0:
+        stage_start = time.perf_counter()
         total = (
             config.hier_samples_per_level + config.vertex_samples
         )  # same sample budget as the hierarchical arm, for fair ablations
-        pairs, phi = random_pair_samples(graph, total, labeler, rng)
+        # Single training stage: nothing to overlap, but the sample stream
+        # is still per-stage so flat and hierarchical arms share conventions.
+        pairs, phi = random_pair_samples(
+            graph, total, labeler, _stage_rng(config.seed, "flat")
+        )
 
         def attempt_flat(
             lr_scale: float, _pairs: np.ndarray = pairs, _phi: np.ndarray = phi
@@ -695,12 +799,14 @@ def _build_flat(
         outcome = run_with_recovery(attempt_flat, snapshot, restore, stage="flat")
         history.notes.extend(outcome.notes)
         history.train_results["flat"] = outcome.result
+        history.phase_seconds["flat"] = time.perf_counter() - stage_start
         history.phase_errors["after_flat"] = error_report(
             model.query_pairs(val_pairs), val_phi
         ).mean_rel
         checkpoint("flat")
 
     if run_finetune and resume_step < stage_names.index("finetune"):
+        stage_start = time.perf_counter()
         buckets = GridBuckets(graph, config.grid_k, seed=rng)
 
         def attempt_finetune(lr_scale: float) -> FinetuneResult:
@@ -726,6 +832,7 @@ def _build_flat(
         )
         history.notes.extend(outcome.notes)
         history.finetune = outcome.result
+        history.phase_seconds["finetune"] = time.perf_counter() - stage_start
         history.phase_errors["after_finetune"] = history.finetune.mean_rel_errors[-1]
         checkpoint("finetune")
     return model, None

@@ -13,20 +13,38 @@ Three strategies, one per training phase:
   the buckets where the current model's validation error is largest
   (the *active fine-tuning* data source).
 
+Every selection function delivers **exactly** the requested number of
+labelled pairs whenever the graph can supply them: candidates lost to the
+self-pair filter or to unreachable (infinite-distance) endpoints are
+re-drawn from the same seeded stream under a bounded retry budget, so the
+per-phase sample budgets of ``build_rne`` are honoured rather than silently
+shrunk.
+
 Ground-truth labelling is the expensive part: one Dijkstra per distinct
 source.  :class:`DistanceLabeler` amortises it by grouping pairs by source
 and caching SSSP rows, and every selection strategy funnels its sources
-through small per-cell/per-grid pools so the cache actually hits.
+through small per-cell/per-grid pools so the cache actually hits.  The
+labeler exposes a ``_sssp_rows`` hook so
+:class:`repro.parallel.ParallelDistanceLabeler` can fan the SSSP runs over
+a worker pool while inheriting the cache and accounting unchanged.
 """
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
+from typing import Any, Callable, Dict, Sequence
 
 import numpy as np
 
 from ..algorithms.dijkstra import sssp_many
 from ..graph import Graph, PartitionHierarchy
+
+#: Upper bound on re-draw rounds when topping up a sample budget.  Each
+#: round re-draws only the deficit, so even a graph where most pairs are
+#: invalid (disconnected components) converges geometrically; the bound
+#: exists so a bucket that can *only* produce degenerate pairs terminates.
+_MAX_RESAMPLE_ROUNDS = 64
 
 
 class DistanceLabeler:
@@ -34,7 +52,9 @@ class DistanceLabeler:
 
     ``label(pairs)`` returns exact distances for a ``(k, 2)`` pair array,
     running one SSSP per *distinct uncached source* (scipy's C Dijkstra)
-    and caching rows LRU-style.
+    and caching rows LRU-style.  Counters (``sssp_runs``, ``cache_hits``,
+    ``pairs_labelled``, ``label_seconds``) follow the serving-stats
+    convention and are surfaced via :meth:`snapshot`.
     """
 
     def __init__(self, graph: Graph, *, cache_size: int = 4096) -> None:
@@ -44,54 +64,157 @@ class DistanceLabeler:
         self._cache: OrderedDict[int, np.ndarray] = OrderedDict()
         self._cache_size = cache_size
         self.sssp_runs = 0
+        self.cache_hits = 0
+        self.pairs_labelled = 0
+        self.label_seconds = 0.0
+
+    # -- SSSP backend ----------------------------------------------------
+    def _sssp_rows(self, sources: Sequence[int]) -> np.ndarray:
+        """Distance rows for ``sources`` — the hook a parallel labeler
+        overrides; the serial path delegates to scipy's C Dijkstra."""
+        return sssp_many(self.graph, list(sources))
+
+    def close(self) -> None:
+        """Release labelling resources (no-op for the serial labeler)."""
+
+    def __enter__(self) -> "DistanceLabeler":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- cache plumbing --------------------------------------------------
+    def _store(self, source: int, row: np.ndarray) -> None:
+        self._cache[source] = row
+        if len(self._cache) > self._cache_size:
+            self._cache.popitem(last=False)
 
     def row(self, source: int) -> np.ndarray:
         """Distance row from ``source`` to every vertex."""
         source = int(source)
         if source in self._cache:
             self._cache.move_to_end(source)
+            self.cache_hits += 1
             return self._cache[source]
-        row = sssp_many(self.graph, [source])[0]
+        row = self._sssp_rows([source])[0]
         self.sssp_runs += 1
-        self._cache[source] = row
-        if len(self._cache) > self._cache_size:
-            self._cache.popitem(last=False)
+        self._store(source, row)
         return row
 
     def label(self, pairs: np.ndarray) -> np.ndarray:
-        """Exact distances for each ``(source, target)`` pair."""
+        """Exact distances for each ``(source, target)`` pair.
+
+        The gather is vectorised: pairs are grouped by distinct source via
+        one argsort, then each group is filled with a single fancy-indexed
+        read of its SSSP row — O(k log k) total instead of the former
+        O(#sources * k) per-source boolean masking.
+        """
+        start = time.perf_counter()
         pairs = np.asarray(pairs, dtype=np.int64)
         out = np.empty(len(pairs), dtype=np.float64)
+        if len(pairs) == 0:
+            return out
         sources, inverse = np.unique(pairs[:, 0], return_inverse=True)
         # Resolve all rows up front (they may outnumber the cache capacity,
         # so the local dict — not the cache — is the source of truth here).
-        resolved: dict[int, np.ndarray] = {}
-        missing = []
-        for s in sources:
+        resolved: Dict[int, np.ndarray] = {}
+        missing: list[int] = []
+        for s in sources:  # perf: loop-ok (bounded by distinct sources)
             s = int(s)
             if s in self._cache:
                 resolved[s] = self._cache[s]
                 self._cache.move_to_end(s)
+                self.cache_hits += 1
             else:
                 missing.append(s)
         if missing:
-            rows = sssp_many(self.graph, missing)
+            rows = self._sssp_rows(missing)
             self.sssp_runs += len(missing)
-            for s, row in zip(missing, rows):
+            for s, row in zip(missing, rows):  # perf: loop-ok (per source)
                 resolved[s] = row
-                self._cache[s] = row
-                if len(self._cache) > self._cache_size:
-                    self._cache.popitem(last=False)
-        for i, s in enumerate(sources):
-            mask = inverse == i
-            out[mask] = resolved[int(s)][pairs[mask, 1]]
+                self._store(s, row)
+        order = np.argsort(inverse, kind="stable")
+        targets = pairs[:, 1]
+        bounds = np.searchsorted(inverse[order], np.arange(sources.size + 1))
+        for i in range(sources.size):  # perf: loop-ok (one gather per source)
+            idx = order[bounds[i] : bounds[i + 1]]
+            out[idx] = resolved[int(sources[i])][targets[idx]]
+        self.pairs_labelled += len(pairs)
+        self.label_seconds += time.perf_counter() - start
         return out
 
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-safe counters, mirroring ``ServingStats`` conventions."""
+        return {
+            "mode": "serial",
+            "sssp_runs": self.sssp_runs,
+            "cache_hits": self.cache_hits,
+            "pairs_labelled": self.pairs_labelled,
+            "label_seconds": self.label_seconds,
+            "cache_entries": len(self._cache),
+            "cache_capacity": self._cache_size,
+        }
 
-def _finite_filter(pairs: np.ndarray, phi: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-    """Drop unreachable pairs (infinite distance) — they cannot be embedded."""
-    ok = np.isfinite(phi)
-    return pairs[ok], phi[ok]
+
+class _RaggedRows:
+    """Concatenated ragged integer rows with vectorised per-row draws.
+
+    Replaces per-element ``rng.choice`` Python loops: ``draw(idx, rng)``
+    picks one uniform member from each row in ``idx`` with two array ops.
+    """
+
+    def __init__(self, rows: Sequence[np.ndarray]) -> None:
+        if not rows:
+            raise ValueError("need at least one row")
+        self.sizes = np.array([row.size for row in rows], dtype=np.int64)
+        if np.any(self.sizes == 0):
+            raise ValueError("rows must be non-empty")
+        self.offsets = np.zeros(len(rows), dtype=np.int64)
+        np.cumsum(self.sizes[:-1], out=self.offsets[1:])
+        self.flat = np.concatenate([np.asarray(r) for r in rows]).astype(np.int64)
+
+    def draw(self, idx: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """One uniform member per row index in ``idx`` (vectorised)."""
+        return self.flat[self.offsets[idx] + rng.integers(self.sizes[idx])]
+
+
+def _budgeted_samples(
+    count: int,
+    draw: Callable[[int], np.ndarray],
+    labeler: DistanceLabeler,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Draw, label and filter until exactly ``count`` valid pairs exist.
+
+    ``draw(k)`` produces ``(k, 2)`` candidate pairs; self-pairs and
+    unreachable pairs are dropped and only the *deficit* is re-drawn, so
+    the expected extra labelling work is proportional to the invalid-pair
+    rate.  Bounded by :data:`_MAX_RESAMPLE_ROUNDS` rounds — a graph that
+    cannot supply ``count`` valid pairs returns what it has.
+    """
+    pair_chunks: list[np.ndarray] = []
+    phi_chunks: list[np.ndarray] = []
+    have = 0
+    for _ in range(_MAX_RESAMPLE_ROUNDS):  # perf: loop-ok (bounded top-up)
+        need = count - have
+        if need <= 0:
+            break
+        cand = np.asarray(draw(need), dtype=np.int64)
+        if cand.shape[0] == 0:
+            break  # the strategy has nothing left to offer
+        cand = cand[cand[:, 0] != cand[:, 1]]
+        if cand.shape[0] == 0:
+            continue
+        phi = labeler.label(cand)
+        ok = np.isfinite(phi)
+        if ok.any():
+            pair_chunks.append(cand[ok])
+            phi_chunks.append(phi[ok])
+            have += int(ok.sum())
+    if not pair_chunks:
+        return np.empty((0, 2), dtype=np.int64), np.empty(0, dtype=np.float64)
+    pairs = np.vstack(pair_chunks)[:count]
+    phi = np.concatenate(phi_chunks)[:count]
+    return pairs, phi
 
 
 # ----------------------------------------------------------------------
@@ -106,26 +229,32 @@ def subgraph_level_samples(
     *,
     sources_per_cell: int = 4,
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Uniform cell-pair samples at ``level`` (Algorithm 2, lines 1-5).
+    """Exactly ``count`` uniform cell-pair samples at ``level``
+    (Algorithm 2, lines 1-5).
 
     Cell pairs are drawn uniformly (probability ``1/|P_l|^2``), then one
     vertex inside each cell.  The source-side vertex comes from a small
     per-cell pool so labelling costs at most ``sources_per_cell * |P_l|``
-    SSSP runs regardless of ``count``.
+    SSSP runs regardless of ``count``; dropped candidates (self-pairs,
+    unreachable pairs) are re-drawn from the same pools.
     """
     cells = hierarchy.cells(level)
-    pools = [
-        rng.choice(cell, size=min(sources_per_cell, cell.size), replace=False)
-        for cell in cells
-    ]
-    ci = rng.integers(len(cells), size=count)
-    cj = rng.integers(len(cells), size=count)
-    s = np.array([rng.choice(pools[i]) for i in ci], dtype=np.int64)
-    t = np.array([rng.choice(cells[j]) for j in cj], dtype=np.int64)
-    pairs = np.column_stack([s, t])
-    pairs = pairs[pairs[:, 0] != pairs[:, 1]]
-    phi = labeler.label(pairs)
-    return _finite_filter(pairs, phi)
+    pools = _RaggedRows(
+        [
+            rng.choice(cell, size=min(sources_per_cell, cell.size), replace=False)
+            for cell in cells
+        ]
+    )
+    members = _RaggedRows(list(cells))
+
+    def draw(k: int) -> np.ndarray:
+        ci = rng.integers(len(cells), size=k)
+        cj = rng.integers(len(cells), size=k)
+        s = pools.draw(ci, rng)
+        t = members.draw(cj, rng)
+        return np.column_stack([s, t])
+
+    return _budgeted_samples(count, draw, labeler)
 
 
 # ----------------------------------------------------------------------
@@ -138,18 +267,19 @@ def landmark_samples(
     labeler: DistanceLabeler,
     rng: np.random.Generator,
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Pairs ``(u in U, v in V)`` (Algorithm 2, lines 6-8).
+    """Exactly ``count`` pairs ``(u in U, v in V)`` (Algorithm 2, lines 6-8).
 
     Each sample relates a vertex to a landmark; with ``|U| << |V|`` every
     landmark is hit often enough to pin the reference frame quickly.
     """
     landmarks = np.asarray(landmarks, dtype=np.int64)
-    s = landmarks[rng.integers(landmarks.size, size=count)]
-    t = rng.integers(graph.n, size=count).astype(np.int64)
-    pairs = np.column_stack([s, t])
-    pairs = pairs[pairs[:, 0] != pairs[:, 1]]
-    phi = labeler.label(pairs)
-    return _finite_filter(pairs, phi)
+
+    def draw(k: int) -> np.ndarray:
+        s = landmarks[rng.integers(landmarks.size, size=k)]
+        t = rng.integers(graph.n, size=k).astype(np.int64)
+        return np.column_stack([s, t])
+
+    return _budgeted_samples(count, draw, labeler)
 
 
 def random_pair_samples(
@@ -160,19 +290,20 @@ def random_pair_samples(
     *,
     source_pool_size: int = 512,
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Near-uniform random pairs with bounded labelling cost.
+    """Exactly ``count`` near-uniform random pairs with bounded labelling.
 
     Sources come from a fresh uniform pool of ``source_pool_size`` vertices
     (so at most that many SSSP runs); targets are fully uniform.  Used for
     the *Random* baseline of Fig. 12 and for validation sets.
     """
     pool = rng.choice(graph.n, size=min(source_pool_size, graph.n), replace=False)
-    s = pool[rng.integers(pool.size, size=count)]
-    t = rng.integers(graph.n, size=count).astype(np.int64)
-    pairs = np.column_stack([s, t])
-    pairs = pairs[pairs[:, 0] != pairs[:, 1]]
-    phi = labeler.label(pairs)
-    return _finite_filter(pairs, phi)
+
+    def draw(k: int) -> np.ndarray:
+        s = pool[rng.integers(pool.size, size=k)]
+        t = rng.integers(graph.n, size=k).astype(np.int64)
+        return np.column_stack([s, t])
+
+    return _budgeted_samples(count, draw, labeler)
 
 
 def validation_set(
@@ -243,16 +374,32 @@ class GridBuckets:
         occupied = np.array(sorted(self.grid_vertices), dtype=np.int64)
         gx = occupied % k
         gy = occupied // k
+        # Flattened per-grid member / source-pool rows (occupied order) so
+        # sample() can draw vertices with vectorised fancy indexing instead
+        # of a per-element rng.choice loop.
+        self._grid_index = np.full(k * k, -1, dtype=np.int64)
+        self._grid_index[occupied] = np.arange(occupied.size, dtype=np.int64)
+        member_sizes = np.array(
+            [self.grid_vertices[int(g)].size for g in occupied], dtype=np.int64
+        )
+        self._members = _RaggedRows([self.grid_vertices[int(g)] for g in occupied])
+        self._source_pools = _RaggedRows([self._pools[int(g)] for g in occupied])
         self._bucket_pairs: list[np.ndarray] = []
         self._bucket_cumw: list[np.ndarray] = []
+        self._bucket_productive: list[bool] = []
         hop = np.abs(gx[:, None] - gx[None, :]) + np.abs(gy[:, None] - gy[None, :])
-        sizes = np.array([self.grid_vertices[int(g)].size for g in occupied])
-        for b in range(self.num_buckets):
+        sizes = member_sizes
+        for b in range(self.num_buckets):  # perf: loop-ok (O(buckets) setup)
             ii, jj = np.nonzero(hop == b)
             pairs = np.column_stack([occupied[ii], occupied[jj]])
             weights = (sizes[ii] * sizes[jj]).astype(np.float64)
             self._bucket_pairs.append(pairs)
             self._bucket_cumw.append(np.cumsum(weights))
+            # A grid pair can yield a non-degenerate vertex pair unless it is
+            # a same-grid pair over a single-vertex grid.
+            self._bucket_productive.append(
+                bool(np.any((ii != jj) | (sizes[ii] > 1)))
+            )
 
     def bucket_weight(self, bucket: int) -> float:
         """Number of vertex pairs represented by ``bucket``."""
@@ -269,20 +416,35 @@ class GridBuckets:
     def sample(
         self, bucket: int, count: int, rng: np.random.Generator
     ) -> np.ndarray:
-        """Draw ``count`` vertex pairs from ``bucket`` (may return fewer if
-        the bucket holds only degenerate same-vertex pairs)."""
+        """Draw exactly ``count`` vertex pairs from ``bucket``.
+
+        Self-pair rejects are re-drawn under a bounded retry budget, so the
+        full count is delivered unless the bucket holds only degenerate
+        same-vertex grid pairs (then it returns what exists — possibly
+        nothing).
+        """
         pairs = self._bucket_pairs[bucket]
         cumw = self._bucket_cumw[bucket]
-        if pairs.shape[0] == 0:
+        if pairs.shape[0] == 0 or count <= 0 or not self._bucket_productive[bucket]:
             return np.empty((0, 2), dtype=np.int64)
-        picks = np.searchsorted(cumw, rng.random(count) * cumw[-1], side="right")
-        out = np.empty((count, 2), dtype=np.int64)
-        for i, gp in enumerate(picks):
-            gs, gt = pairs[gp]
-            pool = self._pools[int(gs)]
-            out[i, 0] = rng.choice(pool)
-            out[i, 1] = rng.choice(self.grid_vertices[int(gt)])
-        return out[out[:, 0] != out[:, 1]]
+        chunks: list[np.ndarray] = []
+        have = 0
+        for _ in range(_MAX_RESAMPLE_ROUNDS):  # perf: loop-ok (bounded top-up)
+            need = count - have
+            if need <= 0:
+                break
+            picks = np.searchsorted(cumw, rng.random(need) * cumw[-1], side="right")
+            gi = self._grid_index[pairs[picks, 0]]
+            gj = self._grid_index[pairs[picks, 1]]
+            s = self._source_pools.draw(gi, rng)
+            t = self._members.draw(gj, rng)
+            keep = s != t
+            if keep.any():
+                chunks.append(np.column_stack([s[keep], t[keep]]))
+                have += int(keep.sum())
+        if not chunks:
+            return np.empty((0, 2), dtype=np.int64)
+        return np.vstack(chunks)[:count]
 
     def bucket_of_pairs(self, pairs: np.ndarray) -> np.ndarray:
         """Bucket index of each vertex pair (grid Manhattan hop count)."""
@@ -303,12 +465,16 @@ def error_based_samples(
     *,
     mode: str = "global",
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Samples targeted at under-fitting buckets (Algorithm 2, lines 9-17).
+    """Exactly ``count`` samples targeted at under-fitting buckets
+    (Algorithm 2, lines 9-17).
 
     ``mode="local"`` draws everything from the single worst bucket;
     ``mode="global"`` spreads draws proportionally to each bucket's error.
     ``bucket_errors`` must have one (non-negative) entry per bucket; buckets
-    with zero weight are ignored.
+    with zero weight are ignored.  Pairs lost to the self-pair or
+    unreachable filters are re-drawn (bounded retries); a bucket that
+    structurally cannot fill its share is dropped from subsequent rounds so
+    the remaining budget flows to the buckets that can.
     """
     bucket_errors = np.asarray(bucket_errors, dtype=np.float64)
     if bucket_errors.shape != (buckets.num_buckets,):
@@ -316,33 +482,49 @@ def error_based_samples(
             f"bucket_errors must have shape ({buckets.num_buckets},), "
             f"got {bucket_errors.shape}"
         )
-    weights = bucket_errors.copy()
-    for b in range(buckets.num_buckets):
-        if buckets.bucket_weight(b) == 0:
-            weights[b] = 0.0
+    if mode not in ("local", "global"):
+        raise ValueError(f"mode must be 'local' or 'global', got {mode!r}")
+    usable = np.array(
+        [1.0 if buckets.bucket_weight(b) > 0 else 0.0
+         for b in range(buckets.num_buckets)]
+    )
+    weights = bucket_errors * usable
 
     if mode == "local":
-        counts = np.zeros(buckets.num_buckets, dtype=np.int64)
-        counts[int(np.argmax(weights))] = count
-    elif mode == "global":
-        total = weights.sum()
-        if total <= 0:
-            weights = np.array(
-                [1.0 if buckets.bucket_weight(b) > 0 else 0.0
-                 for b in range(buckets.num_buckets)]
-            )
-            total = weights.sum()
-        counts = rng.multinomial(count, weights / total)
+        w = np.zeros(buckets.num_buckets, dtype=np.float64)
+        w[int(np.argmax(weights))] = 1.0
     else:
-        raise ValueError(f"mode must be 'local' or 'global', got {mode!r}")
+        w = weights.copy()
+        if w.sum() <= 0:
+            w = usable.copy()
 
-    chunks = [
-        buckets.sample(b, int(c), rng)
-        for b, c in enumerate(counts)
-        if c > 0
-    ]
-    if not chunks:
+    pair_chunks: list[np.ndarray] = []
+    phi_chunks: list[np.ndarray] = []
+    have = 0
+    for _ in range(_MAX_RESAMPLE_ROUNDS):  # perf: loop-ok (bounded top-up)
+        need = count - have
+        total = w.sum()
+        if need <= 0 or total <= 0:
+            break
+        counts = rng.multinomial(need, w / total)
+        drawn: list[np.ndarray] = []
+        for b, c in enumerate(counts):  # perf: loop-ok (bounded by #buckets)
+            if c == 0:
+                continue
+            got = buckets.sample(b, int(c), rng)
+            if got.shape[0] < int(c):
+                w[b] = 0.0  # bucket cannot fill its share; stop asking
+            if got.shape[0]:
+                drawn.append(got)
+        if not drawn:
+            continue
+        cand = np.vstack(drawn)
+        phi = labeler.label(cand)
+        ok = np.isfinite(phi)
+        if ok.any():
+            pair_chunks.append(cand[ok])
+            phi_chunks.append(phi[ok])
+            have += int(ok.sum())
+    if not pair_chunks:
         return np.empty((0, 2), dtype=np.int64), np.empty(0, dtype=np.float64)
-    pairs = np.vstack(chunks)
-    phi = labeler.label(pairs)
-    return _finite_filter(pairs, phi)
+    return np.vstack(pair_chunks)[:count], np.concatenate(phi_chunks)[:count]

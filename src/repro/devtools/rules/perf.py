@@ -20,8 +20,12 @@ HOT_PATH_FILES = (
     "core/training.py",
     "core/finetune.py",
     "core/index.py",
+    "core/sampling.py",
     "serving/engine.py",
     "serving/frontdoor.py",
+    "parallel/pool.py",
+    "parallel/labeler.py",
+    "parallel/prefetch.py",
 )
 
 #: Identifiers that mark an iterable as per-vertex / per-pair sized.
@@ -43,8 +47,8 @@ class HotPathPythonLoop(Rule):
     code = "RNE004"
     name = "hot-path-python-loop"
     description = (
-        "Python for-loops over vertices/pairs in training.py, finetune.py, "
-        "index.py, serving/engine.py, serving/frontdoor.py require a "
+        "Python for-loops over vertices/pairs in the training, sampling, "
+        "indexing, serving and parallel-labelling hot paths require a "
         "'# perf: loop-ok' waiver"
     )
 

@@ -1,0 +1,119 @@
+"""A :class:`~repro.core.sampling.DistanceLabeler` backed by a worker pool.
+
+:class:`ParallelDistanceLabeler` is a drop-in replacement for the serial
+labeler: same cache, same counters, same ``label``/``row`` semantics.  Only
+the ``_sssp_rows`` hook changes — missing rows are fanned over an
+:class:`~repro.parallel.pool.SSSPWorkerPool` instead of being computed
+in-process.  Because both paths run the identical
+:func:`repro.algorithms.dijkstra.sssp_rows` kernel on bit-identical CSR
+arrays and the gather is order-stable, labels are bit-identical to the
+serial labeler for any worker count.
+
+Degradation is graceful: an effective worker count of 1 or a pool-creation
+failure (platforms where multiprocessing is unavailable or restricted)
+silently falls back to the in-process kernel, recording the reason in
+``fallback_reason`` / ``snapshot()``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence
+
+import numpy as np
+
+from ..core.sampling import DistanceLabeler
+from ..graph import Graph
+from .pool import SSSPWorkerPool, resolve_workers
+
+__all__ = ["ParallelDistanceLabeler", "make_labeler"]
+
+
+class ParallelDistanceLabeler(DistanceLabeler):
+    """Distance labeler whose SSSP runs fan out over worker processes.
+
+    The pool is created lazily on the first uncached labelling request, so
+    constructing the labeler is cheap and a run whose sources all hit the
+    cache never pays the pool start-up cost.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        *,
+        workers: Optional[int] = None,
+        cache_size: int = 4096,
+        chunk_size: Optional[int] = None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        super().__init__(graph, cache_size=cache_size)
+        self.workers = resolve_workers(workers)
+        self._chunk_size = chunk_size
+        self._start_method = start_method
+        self._pool: Optional[SSSPWorkerPool] = None
+        self.fallback_reason: Optional[str] = None
+
+    # -- pool plumbing ---------------------------------------------------
+    def _ensure_pool(self) -> Optional[SSSPWorkerPool]:
+        if self.workers < 2:
+            return None
+        if self.fallback_reason is not None:
+            return None
+        if self._pool is None:
+            try:
+                self._pool = SSSPWorkerPool(
+                    self.graph,
+                    self.workers,
+                    chunk_size=self._chunk_size,
+                    start_method=self._start_method,
+                )
+            except (OSError, ValueError, RuntimeError, ImportError) as exc:
+                self.fallback_reason = f"{type(exc).__name__}: {exc}"
+                return None
+        return self._pool
+
+    def _sssp_rows(self, sources: Sequence[int]) -> np.ndarray:
+        pool = self._ensure_pool()
+        if pool is None:
+            return super()._sssp_rows(sources)
+        return pool.sssp_many(np.asarray(list(sources), dtype=np.int64))
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent; labeler stays usable —
+        the next miss falls back to the serial kernel via a fresh pool)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    # -- observability ---------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        snap = super().snapshot()
+        snap["workers"] = self.workers
+        if self.fallback_reason is not None:
+            snap["mode"] = "serial-fallback"
+            snap["fallback_reason"] = self.fallback_reason
+        elif self.workers >= 2:
+            snap["mode"] = "parallel"
+        if self._pool is not None:
+            snap["pool"] = self._pool.stats.snapshot()
+        return snap
+
+
+def make_labeler(
+    graph: Graph,
+    *,
+    workers: Optional[int] = None,
+    cache_size: int = 4096,
+    chunk_size: Optional[int] = None,
+) -> DistanceLabeler:
+    """Labeler factory honouring ``workers`` / ``REPRO_WORKERS``.
+
+    Returns the plain serial :class:`DistanceLabeler` when the effective
+    worker count is 1 and a :class:`ParallelDistanceLabeler` otherwise —
+    call sites stay agnostic of the parallelism decision.
+    """
+    effective = resolve_workers(workers)
+    if effective < 2:
+        return DistanceLabeler(graph, cache_size=cache_size)
+    return ParallelDistanceLabeler(
+        graph, workers=effective, cache_size=cache_size, chunk_size=chunk_size
+    )

@@ -1,5 +1,7 @@
 """Tests for training-sample selection and the distance labeler."""
 
+import time
+
 import numpy as np
 import pytest
 
@@ -14,6 +16,17 @@ from repro.core import (
     validation_set,
 )
 from repro.graph import Graph, PartitionHierarchy
+from repro.graph.generators import grid_city
+
+
+@pytest.fixture()
+def split_graph():
+    """Two disconnected components with coordinates: most cross pairs are
+    unreachable, so naive draw-once sampling would under-deliver badly."""
+    edges = [(i, i + 1, 1.0) for i in range(9)]
+    edges += [(i, i + 1, 1.0) for i in range(10, 19)]
+    coords = np.column_stack([np.arange(20, dtype=float), np.zeros(20)])
+    return Graph(20, edges, coords=coords)
 
 
 class TestDistanceLabeler:
@@ -209,3 +222,98 @@ class TestErrorBasedSamples:
         buckets, labeler = setup
         with pytest.raises(ValueError):
             error_based_samples(buckets, np.ones(3), 10, labeler, rng)
+
+
+class TestExactBudgets:
+    """Every strategy must deliver exactly ``count`` labelled pairs even on
+    a graph with unreachable components (regression: the self-pair and
+    finite filters used to silently shrink the returned sample set)."""
+
+    def test_random_pairs_exact(self, split_graph, rng):
+        labeler = DistanceLabeler(split_graph)
+        pairs, phi = random_pair_samples(split_graph, 400, labeler, rng)
+        assert pairs.shape == (400, 2)
+        assert phi.shape == (400,)
+        assert np.isfinite(phi).all()
+        assert (pairs[:, 0] != pairs[:, 1]).all()
+
+    def test_landmark_exact(self, split_graph, rng):
+        labeler = DistanceLabeler(split_graph)
+        landmarks = np.array([0, 4, 12])
+        pairs, phi = landmark_samples(split_graph, landmarks, 350, labeler, rng)
+        assert pairs.shape == (350, 2)
+        assert np.isfinite(phi).all()
+
+    def test_subgraph_level_exact(self, split_graph, rng):
+        hierarchy = PartitionHierarchy(split_graph, fanout=2, leaf_size=4, seed=0)
+        labeler = DistanceLabeler(split_graph)
+        pairs, phi = subgraph_level_samples(hierarchy, 0, 250, labeler, rng)
+        assert pairs.shape == (250, 2)
+        assert np.isfinite(phi).all()
+
+    def test_grid_bucket_exact(self, split_graph, rng):
+        buckets = GridBuckets(split_graph, k=4, seed=0)
+        for b in buckets.nonempty_buckets():
+            pairs = buckets.sample(int(b), 120, rng)
+            if pairs.shape[0]:  # degenerate buckets may hold nothing valid
+                assert pairs.shape == (120, 2)
+                assert (pairs[:, 0] != pairs[:, 1]).all()
+
+    def test_error_based_exact(self, split_graph, rng):
+        buckets = GridBuckets(split_graph, k=4, seed=0)
+        labeler = DistanceLabeler(split_graph)
+        pairs, phi = error_based_samples(
+            buckets, np.ones(buckets.num_buckets), 300, labeler, rng
+        )
+        assert pairs.shape == (300, 2)
+        assert np.isfinite(phi).all()
+
+    def test_degenerate_bucket_returns_empty(self, rng):
+        # One isolated-ish vertex per occupied grid cell: bucket 0 holds
+        # only same-grid pairs over single-vertex grids.
+        coords = np.array([[0.0, 0.0], [9.0, 9.0]])
+        g = Graph(2, [(0, 1, 1.0)], coords=coords)
+        buckets = GridBuckets(g, k=2, seed=0)
+        assert buckets.sample(0, 50, rng).shape == (0, 2)
+
+    def test_validation_set_exact(self, split_graph):
+        labeler = DistanceLabeler(split_graph)
+        pairs, phi = validation_set(split_graph, 200, labeler, seed=7)
+        assert pairs.shape == (200, 2)
+        assert np.isfinite(phi).all()
+
+
+class TestVectorizedLabelGather:
+    def test_many_sources_fast_and_exact(self):
+        """~50k pairs over ~1k distinct sources: the vectorised gather must
+        stay cheap (the old per-source boolean-mask loop was O(S * P)) and
+        bit-identical to per-row lookups."""
+        graph = grid_city(36, 36, seed=0)  # ~1.3k vertices
+        rng = np.random.default_rng(1)
+        sources = rng.choice(graph.n, size=1000, replace=False)
+        pairs = np.column_stack(
+            [
+                sources[rng.integers(sources.size, size=50_000)],
+                rng.integers(graph.n, size=50_000),
+            ]
+        ).astype(np.int64)
+
+        labeler = DistanceLabeler(graph, cache_size=2048)
+        labeler.label(pairs[:1])  # exclude any lazy one-time setup
+        start = time.perf_counter()
+        got = labeler.label(pairs)
+        elapsed = time.perf_counter() - start
+        # Generous bound: dominated by the ~1k SSSP runs, not the gather.
+        assert elapsed < 30.0
+
+        check = np.random.default_rng(2).integers(pairs.shape[0], size=200)
+        for i in check:
+            s, t = pairs[i]
+            assert got[i] == labeler.row(int(s))[int(t)]
+
+    def test_gather_bit_identical_to_pair_distances(self, medium_grid, rng):
+        labeler = DistanceLabeler(medium_grid)
+        pairs = rng.integers(medium_grid.n, size=(5000, 2)).astype(np.int64)
+        np.testing.assert_array_equal(
+            labeler.label(pairs), pair_distances(medium_grid, pairs)
+        )

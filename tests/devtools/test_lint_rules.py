@@ -63,9 +63,15 @@ def test_rules_respect_scoping():
     # RNE003 is core/-only.
     found = run_rule("RNE003", "rne003_bad.py", "src/repro/algorithms/h2h.py")
     assert found == []
-    # RNE004 only watches the declared hot-path modules.
-    found = run_rule("RNE004", "rne004_bad.py", "src/repro/core/sampling.py")
+    # RNE004 only watches the declared hot-path modules; analysis.py is
+    # diagnostics, not a hot path.
+    found = run_rule("RNE004", "rne004_bad.py", "src/repro/core/analysis.py")
     assert found == []
+    # ...while the sampling and parallel-labelling modules are in scope.
+    found = run_rule("RNE004", "rne004_bad.py", "src/repro/core/sampling.py")
+    assert len(found) >= 2
+    found = run_rule("RNE004", "rne004_bad.py", "src/repro/parallel/pool.py")
+    assert len(found) >= 2
 
 
 def test_generic_waiver_suppresses_any_rule():

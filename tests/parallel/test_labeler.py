@@ -1,0 +1,129 @@
+"""Cross-implementation tests: parallel labeler vs serial DistanceLabeler.
+
+The core guarantee of ``repro.parallel`` is that parallelism is a pure
+speed knob — same labels, same accounting, for any worker count.  These
+tests check it property-style over random graphs, seeds and worker counts,
+including the cache-hit paths.
+"""
+
+import numpy as np
+import pytest
+
+import repro.parallel.labeler as labeler_mod
+from repro.core import DistanceLabeler
+from repro.graph import Graph, delaunay_country, grid_city, radial_city
+from repro.parallel import ParallelDistanceLabeler, make_labeler
+
+
+def _random_workload(graph, seed, num_batches=3, batch=120):
+    """Pair batches with repeated sources so caches actually hit."""
+    rng = np.random.default_rng(seed)
+    pool = rng.choice(graph.n, size=min(24, graph.n), replace=False)
+    batches = []
+    for _ in range(num_batches):
+        s = pool[rng.integers(pool.size, size=batch)]
+        t = rng.integers(graph.n, size=batch)
+        batches.append(np.column_stack([s, t]).astype(np.int64))
+    return batches
+
+
+GRAPHS = [
+    lambda: grid_city(7, 7, seed=1),
+    lambda: radial_city(5, 24, seed=2),
+    lambda: delaunay_country(80, seed=3),
+    # Disconnected: exercises inf labels through both paths.
+    lambda: Graph(30, [(i, i + 1, 1.0) for i in range(14)]
+                  + [(i, i + 1, 2.0) for i in range(15, 29)]),
+]
+
+
+class TestParallelSerialParity:
+    @pytest.mark.parametrize("graph_fn", GRAPHS)
+    @pytest.mark.parametrize("workers", [2, 3])
+    def test_bit_identical_over_graphs_and_workers(self, graph_fn, workers):
+        graph = graph_fn()
+        serial = DistanceLabeler(graph, cache_size=8)
+        with ParallelDistanceLabeler(graph, workers=workers, cache_size=8) as par:
+            for batch in _random_workload(graph, seed=workers):
+                np.testing.assert_array_equal(
+                    serial.label(batch), par.label(batch)
+                )
+            assert par.sssp_runs == serial.sssp_runs
+            assert par.cache_hits == serial.cache_hits
+            assert par.pairs_labelled == serial.pairs_labelled
+
+    @pytest.mark.parametrize("seed", [0, 7, 123])
+    def test_seed_sweep(self, small_grid, seed):
+        serial = DistanceLabeler(small_grid)
+        with ParallelDistanceLabeler(small_grid, workers=2) as par:
+            for batch in _random_workload(small_grid, seed=seed):
+                np.testing.assert_array_equal(serial.label(batch), par.label(batch))
+            assert par.sssp_runs == serial.sssp_runs
+
+    def test_cache_hit_path(self, small_grid):
+        with ParallelDistanceLabeler(small_grid, workers=2) as par:
+            pairs = np.array([[0, 1], [0, 2], [5, 3]])
+            par.label(pairs)
+            runs = par.sssp_runs
+            par.label(pairs)  # fully cached second pass
+            assert par.sssp_runs == runs
+            assert par.cache_hits >= 2
+
+    def test_row_matches_serial(self, small_grid):
+        serial = DistanceLabeler(small_grid)
+        with ParallelDistanceLabeler(small_grid, workers=2) as par:
+            np.testing.assert_array_equal(serial.row(3), par.row(3))
+
+    def test_label_after_close_still_correct(self, small_grid):
+        par = ParallelDistanceLabeler(small_grid, workers=2)
+        pairs = np.array([[0, 5], [9, 2]])
+        expected = DistanceLabeler(small_grid).label(pairs)
+        np.testing.assert_array_equal(par.label(pairs), expected)
+        par.close()
+        more = np.array([[11, 4]])
+        np.testing.assert_array_equal(
+            par.label(more), DistanceLabeler(small_grid).label(more)
+        )
+        par.close()
+
+
+class TestFallback:
+    def test_pool_failure_degrades_to_serial(self, small_grid, monkeypatch):
+        def broken_pool(*args, **kwargs):
+            raise OSError("no multiprocessing here")
+
+        monkeypatch.setattr(labeler_mod, "SSSPWorkerPool", broken_pool)
+        serial = DistanceLabeler(small_grid)
+        with ParallelDistanceLabeler(small_grid, workers=4) as par:
+            pairs = np.array([[0, 1], [7, 3], [0, 9]])
+            np.testing.assert_array_equal(serial.label(pairs), par.label(pairs))
+            snap = par.snapshot()
+        assert snap["mode"] == "serial-fallback"
+        assert "no multiprocessing here" in snap["fallback_reason"]
+
+    def test_snapshot_reports_pool(self, small_grid):
+        with ParallelDistanceLabeler(small_grid, workers=2) as par:
+            par.label(np.array([[0, 1]]))
+            snap = par.snapshot()
+        assert snap["mode"] == "parallel"
+        assert snap["workers"] == 2
+        assert snap["pool"]["sssp_runs"] == 1
+
+
+class TestMakeLabeler:
+    def test_serial_for_one_worker(self, small_grid, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert type(make_labeler(small_grid)) is DistanceLabeler
+        assert type(make_labeler(small_grid, workers=1)) is DistanceLabeler
+
+    def test_parallel_for_many(self, small_grid):
+        labeler = make_labeler(small_grid, workers=2)
+        assert isinstance(labeler, ParallelDistanceLabeler)
+        labeler.close()
+
+    def test_env_variable_honoured(self, small_grid, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        labeler = make_labeler(small_grid)
+        assert isinstance(labeler, ParallelDistanceLabeler)
+        assert labeler.workers == 2
+        labeler.close()

@@ -1,0 +1,96 @@
+"""End-to-end determinism of build_rne under workers / prefetch settings."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import RNEConfig, build_rne
+from repro.reliability.checkpoint import CheckpointManager
+
+
+@pytest.fixture(scope="module")
+def fast_config():
+    return RNEConfig(
+        d=8,
+        hier_samples_per_level=400,
+        hier_epochs=2,
+        vertex_samples=800,
+        vertex_epochs=2,
+        num_landmarks=12,
+        joint_epochs=1,
+        joint_samples=500,
+        finetune_rounds=1,
+        finetune_samples=300,
+        validation_size=200,
+        seed=11,
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_rne(small_grid, fast_config):
+    return build_rne(small_grid, fast_config)
+
+
+class TestWorkerDeterminism:
+    def test_workers_bit_identical(self, small_grid, fast_config, serial_rne):
+        parallel = build_rne(small_grid, replace(fast_config, workers=2))
+        np.testing.assert_array_equal(
+            serial_rne.model.matrix, parallel.model.matrix
+        )
+        assert parallel.history.labeling["mode"] == "parallel"
+        assert (
+            parallel.history.labeling["sssp_runs"]
+            == serial_rne.history.labeling["sssp_runs"]
+        )
+
+    def test_prefetch_off_bit_identical(self, small_grid, fast_config, serial_rne):
+        sync = build_rne(small_grid, replace(fast_config, prefetch=False))
+        np.testing.assert_array_equal(serial_rne.model.matrix, sync.model.matrix)
+
+    def test_flat_arm_workers_bit_identical(self, small_grid, fast_config):
+        base = replace(fast_config, hierarchical=False)
+        a = build_rne(small_grid, base)
+        b = build_rne(small_grid, replace(base, workers=2, prefetch=False))
+        np.testing.assert_array_equal(a.model.matrix, b.model.matrix)
+
+    def test_env_workers_used(self, small_grid, fast_config, monkeypatch, serial_rne):
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        rne = build_rne(small_grid, fast_config)
+        assert rne.history.labeling["mode"] == "parallel"
+        np.testing.assert_array_equal(serial_rne.model.matrix, rne.model.matrix)
+
+    def test_labeling_observability(self, serial_rne):
+        labeling = serial_rne.history.labeling
+        assert labeling["sssp_runs"] > 0
+        assert labeling["pairs_labelled"] > 0
+        assert serial_rne.history.phase_seconds.keys() >= {"vertex", "joint"}
+
+
+class TestCheckpointWorkerConfig:
+    def test_worker_config_recorded(self, small_grid, fast_config, tmp_path):
+        ckpt = str(tmp_path / "ckpts")
+        build_rne(
+            small_grid,
+            replace(fast_config, workers=2, prefetch=False),
+            checkpoint_dir=ckpt,
+        )
+        manager = CheckpointManager(ckpt, graph=small_grid)
+        found = manager.latest()
+        assert found is not None
+        _, _, meta = found
+        assert meta["worker_config"] == {"workers": 2, "prefetch": False}
+
+    def test_resume_bit_identical_across_worker_change(
+        self, small_grid, fast_config, tmp_path, serial_rne
+    ):
+        """A run checkpointed with workers=2 resumes bit-identically serial:
+        worker config is a speed knob, not part of the trained state."""
+        ckpt = str(tmp_path / "ckpts")
+        build_rne(small_grid, replace(fast_config, workers=2), checkpoint_dir=ckpt)
+        resumed = build_rne(
+            small_grid, fast_config, checkpoint_dir=ckpt, resume=True
+        )
+        np.testing.assert_array_equal(
+            serial_rne.model.matrix, resumed.model.matrix
+        )

@@ -1,0 +1,93 @@
+"""Tests for the multiprocessing SSSP worker pool."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import sssp_many
+from repro.graph import Graph
+from repro.parallel import SSSPWorkerPool, resolve_workers
+
+
+class TestResolveWorkers:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert resolve_workers(None) == 1
+        assert resolve_workers(0) == 1
+
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "8")
+        assert resolve_workers(3) == 3
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "4")
+        assert resolve_workers(None) == 4
+        assert resolve_workers(0) == 4
+
+    def test_env_invalid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "lots")
+        with pytest.raises(ValueError):
+            resolve_workers(None)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_workers(-2)
+
+
+class TestSSSPWorkerPool:
+    def test_rejects_single_worker(self, small_grid):
+        with pytest.raises(ValueError):
+            SSSPWorkerPool(small_grid, 1)
+
+    @pytest.mark.parametrize("workers", [2, 3])
+    def test_bit_identical_to_serial(self, small_grid, workers):
+        sources = np.arange(0, small_grid.n, 3, dtype=np.int64)
+        expected = sssp_many(small_grid, sources)
+        with SSSPWorkerPool(small_grid, workers) as pool:
+            got = pool.sssp_many(sources)
+        np.testing.assert_array_equal(got, expected)
+
+    def test_order_stable_with_shuffled_duplicate_sources(self, small_grid, rng):
+        sources = rng.integers(small_grid.n, size=37).astype(np.int64)
+        expected = sssp_many(small_grid, sources)
+        with SSSPWorkerPool(small_grid, 2, chunk_size=3) as pool:
+            got = pool.sssp_many(sources)
+        np.testing.assert_array_equal(got, expected)
+
+    @pytest.mark.parametrize("chunk_size", [1, 4, 100])
+    def test_chunking_never_changes_results(self, small_grid, chunk_size):
+        sources = np.arange(20, dtype=np.int64)
+        expected = sssp_many(small_grid, sources)
+        with SSSPWorkerPool(small_grid, 2, chunk_size=chunk_size) as pool:
+            np.testing.assert_array_equal(pool.sssp_many(sources), expected)
+
+    def test_disconnected_graph_inf_rows(self):
+        g = Graph(4, [(0, 1, 1.0), (2, 3, 1.0)])
+        with SSSPWorkerPool(g, 2) as pool:
+            rows = pool.sssp_many(np.array([0, 2]))
+        assert rows[0, 1] == 1.0 and np.isinf(rows[0, 2])
+        assert rows[1, 3] == 1.0 and np.isinf(rows[1, 0])
+
+    def test_empty_sources(self, small_grid):
+        with SSSPWorkerPool(small_grid, 2) as pool:
+            rows = pool.sssp_many(np.array([], dtype=np.int64))
+        assert rows.shape == (0, small_grid.n)
+
+    def test_stats_accounting(self, small_grid):
+        with SSSPWorkerPool(small_grid, 2, chunk_size=2) as pool:
+            pool.sssp_many(np.arange(6))
+            pool.sssp_many(np.arange(4))
+            snap = pool.stats.snapshot()
+        assert snap["sssp_runs"] == 10
+        assert snap["calls"] == 2
+        assert snap["tasks"] == 5  # 3 chunks + 2 chunks
+        assert snap["workers"] == 2
+        assert snap["wall_seconds"] > 0
+        assert 0.0 <= snap["utilization"] <= 1.0
+        assert 1 <= snap["workers_seen"] <= 2
+
+    def test_closed_pool_raises(self, small_grid):
+        pool = SSSPWorkerPool(small_grid, 2)
+        pool.close()
+        pool.close()  # idempotent
+        with pytest.raises(RuntimeError):
+            pool.sssp_many(np.array([0]))

@@ -1,0 +1,118 @@
+"""Tests for the prefetching sample pipeline."""
+
+import threading
+import time
+
+import pytest
+
+from repro.parallel import PrefetchPipeline
+
+
+class TestPrefetchPipeline:
+    def test_results_in_order(self):
+        with PrefetchPipeline() as p:
+            for i in range(5):
+                p.add(f"job{i}", lambda _i=i: _i * 10)
+            p.start()
+            assert [p.get(f"job{i}") for i in range(5)] == [0, 10, 20, 30, 40]
+
+    def test_disabled_mode_is_lazy_and_identical(self):
+        ran = []
+
+        def job(i):
+            ran.append(i)
+            return i
+
+        p = PrefetchPipeline(enabled=False)
+        p.add("a", lambda: job(1))
+        p.add("b", lambda: job(2))
+        p.start()
+        assert ran == []  # nothing runs until consumption
+        assert p.get("a") == 1
+        assert ran == [1]
+        assert p.get("b") == 2
+
+    def test_background_thread_overlaps(self):
+        first_done = threading.Event()
+        with PrefetchPipeline(lookahead=1) as p:
+            p.add("a", lambda: first_done.set() or "a")
+            p.add("b", lambda: "b")
+            p.start()
+            assert first_done.wait(timeout=10.0)  # ran before any get()
+            assert p.get("a") == "a"
+            assert p.get("b") == "b"
+
+    def test_out_of_order_get_rejected(self):
+        with PrefetchPipeline() as p:
+            p.add("a", lambda: 1)
+            p.add("b", lambda: 2)
+            p.start()
+            with pytest.raises(RuntimeError, match="in order"):
+                p.get("b")
+
+    def test_get_before_start(self):
+        p = PrefetchPipeline()
+        p.add("a", lambda: 1)
+        with pytest.raises(RuntimeError):
+            p.get("a")
+
+    def test_unknown_name(self):
+        with PrefetchPipeline() as p:
+            p.add("a", lambda: 1)
+            p.start()
+            with pytest.raises(KeyError):
+                p.get("nope")
+
+    def test_duplicate_name_rejected(self):
+        p = PrefetchPipeline()
+        p.add("a", lambda: 1)
+        with pytest.raises(ValueError):
+            p.add("a", lambda: 2)
+
+    def test_add_after_start_rejected(self):
+        with PrefetchPipeline() as p:
+            p.add("a", lambda: 1)
+            p.start()
+            with pytest.raises(RuntimeError):
+                p.add("b", lambda: 2)
+
+    def test_double_start_rejected(self):
+        with PrefetchPipeline() as p:
+            p.start()
+            with pytest.raises(RuntimeError):
+                p.start()
+
+    def test_job_error_surfaces_at_get(self):
+        def boom():
+            raise ValueError("bad samples")
+
+        with PrefetchPipeline() as p:
+            p.add("bad", boom)
+            p.add("after", lambda: 3)
+            p.start()
+            with pytest.raises(ValueError, match="bad samples"):
+                p.get("bad")
+            # Jobs after a failure do not hang; they re-raise the abort cause.
+            with pytest.raises(ValueError, match="bad samples"):
+                p.get("after")
+
+    def test_sync_mode_error(self):
+        def boom():
+            raise RuntimeError("sync fail")
+
+        p = PrefetchPipeline(enabled=False)
+        p.add("bad", boom)
+        p.start()
+        with pytest.raises(RuntimeError, match="sync fail"):
+            p.get("bad")
+
+    def test_close_without_consuming(self):
+        p = PrefetchPipeline(lookahead=1)
+        for i in range(4):
+            p.add(f"job{i}", lambda _i=i: time.sleep(0.01) or _i)
+        p.start()
+        p.close()  # abandons queued jobs, does not hang
+
+    def test_invalid_lookahead(self):
+        with pytest.raises(ValueError):
+            PrefetchPipeline(lookahead=0)
