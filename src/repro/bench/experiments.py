@@ -733,6 +733,12 @@ def _labeling_runner(**kw) -> str:
     return labeling_benchmark(**kw)["report"]
 
 
+def _updates_runner(**kw) -> str:
+    from .updates import updates_benchmark
+
+    return updates_benchmark(**kw)["report"]
+
+
 def _ablation_runner(name: str):
     def run(**kw):
         from . import ablations
@@ -758,6 +764,7 @@ EXPERIMENTS = {
     "fig17": lambda **kw: fig17_error_vs_distance(**kw)["report"],
     "serving": lambda **kw: _serving_runner(**kw),
     "labeling": lambda **kw: _labeling_runner(**kw),
+    "updates": lambda **kw: _updates_runner(**kw),
     "ablate-joint": _ablation_runner("ablate_joint_pass"),
     "ablate-optimizer": _ablation_runner("ablate_optimizer"),
     "ablate-landmarks": _ablation_runner("ablate_landmark_strategy"),

@@ -11,6 +11,7 @@ Usage::
     rne serve --model model.npz --targets random:64    # stdin query server
     rne query --model model.npz "dist 0 5" "knn 3 2"   # one-shot batch
     rne query --batch queries.txt --stats-out stats.json
+    rne update --model model.npz --out model.npz       # live weight update
 
 Equivalent to ``python -m repro.cli <experiment>``.
 """
@@ -268,6 +269,126 @@ def _run_query(argv: list[str]) -> int:
     return _serve_and_report(args, lines)
 
 
+def _run_update(argv: list[str]) -> int:
+    """``rne update``: apply a live edge-weight update to a saved model.
+
+    Loads the artifact, perturbs random edge weights (the reproducible
+    stand-in for a real traffic feed), runs the versioned live-update
+    lifecycle — incremental retrain, atomic publish, cache/index
+    invalidation — and saves the bumped-version artifact back out.
+    """
+    parser = argparse.ArgumentParser(
+        prog="rne update",
+        description=(
+            "Apply an incremental edge-weight update to a trained RNE "
+            "artifact: retrain the affected region, publish atomically, "
+            "invalidate serving caches, and re-save with a bumped version."
+        ),
+    )
+    parser.add_argument("--model", required=True, help="trained RNE artifact (.npz)")
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="output artifact path (default: overwrite --model in place)",
+    )
+    parser.add_argument("--size", type=int, default=16, help="grid side length")
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument(
+        "--perturb-factor",
+        type=float,
+        default=2.0,
+        help="multiply the chosen edge weights by this factor",
+    )
+    parser.add_argument(
+        "--perturb-count",
+        type=int,
+        default=10,
+        help="number of random edges to reweight",
+    )
+    parser.add_argument(
+        "--hops", type=int, default=2, help="affected-region radius in hops"
+    )
+    parser.add_argument(
+        "--samples", type=int, default=4000, help="training pairs per round"
+    )
+    parser.add_argument("--rounds", type=int, default=2, help="retraining rounds")
+    parser.add_argument(
+        "--validation-size", type=int, default=500, help="held-out validation pairs"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="labelling worker processes (default: REPRO_WORKERS env var)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="journal the published embedding into this checkpoint directory",
+    )
+    parser.add_argument(
+        "--stats-out",
+        default=None,
+        help="write the UpdateStats record to this JSON file",
+    )
+    args = parser.parse_args(argv)
+
+    import json
+
+    from .core.pipeline import RNE
+    from .graph.generators import grid_city
+    from .live import LiveUpdateManager, perturb_weights
+    from .reliability.artifacts import ArtifactError
+    from .reliability.checkpoint import CheckpointManager, TrainingDiverged
+    from .serving import BatchQueryEngine
+
+    graph = grid_city(args.size, args.size, seed=args.seed)
+    try:
+        rne = RNE.load(args.model, graph)
+    except ArtifactError as exc:
+        print(f"cannot update: {exc}", file=sys.stderr)
+        return 1
+    if rne.hierarchy is None:
+        print("cannot update: artifact has no partition hierarchy", file=sys.stderr)
+        return 1
+    engine = BatchQueryEngine.from_rne(rne)
+    checkpoints = (
+        CheckpointManager(args.checkpoint_dir)
+        if args.checkpoint_dir is not None
+        else None
+    )
+    manager = LiveUpdateManager(rne, engines=(engine,), checkpoints=checkpoints)
+    new_graph, changed = perturb_weights(
+        graph,
+        factor=args.perturb_factor,
+        count=args.perturb_count,
+        seed=args.seed + 1,
+    )
+    try:
+        stats = manager.update(
+            new_graph,
+            changed,
+            hops=args.hops,
+            samples=args.samples,
+            rounds=args.rounds,
+            validation_size=args.validation_size,
+            seed=args.seed,
+            workers=args.workers,
+        )
+    except TrainingDiverged as exc:
+        print(f"update diverged beyond recovery: {exc}", file=sys.stderr)
+        return 1
+    print(stats.report())
+    out_path = args.out if args.out is not None else args.model
+    rne.save(out_path)
+    print(f"artifact saved to {out_path} at version {rne.version}")
+    if args.stats_out is not None:
+        with open(args.stats_out, "w", encoding="utf-8") as fh:
+            json.dump(stats.as_dict(), fh, indent=2, sort_keys=True)
+        print(f"stats written to {args.stats_out}", file=sys.stderr)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "train":
@@ -276,6 +397,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_serve(argv[1:])
     if argv and argv[0] == "query":
         return _run_query(argv[1:])
+    if argv and argv[0] == "update":
+        return _run_update(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="rne",
@@ -285,7 +408,7 @@ def main(argv: list[str] | None = None) -> int:
         "experiment",
         help=(
             "experiment name (see 'rne list'), 'list', 'all', 'train', "
-            "'serve', or 'query'"
+            "'serve', 'query', or 'update'"
         ),
     )
     parser.add_argument(

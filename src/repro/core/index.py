@@ -160,14 +160,7 @@ class EmbeddingTreeIndex:
         for node in hierarchy.nodes:
             if node.level > self._leaf_level:
                 continue
-            members = matrix[node.vertices]
-            centre = members.mean(axis=0)
-            self.node_centres[node.id] = centre
-            self.node_radii[node.id] = float(
-                lp_distance(members - centre, self.p).max()
-            )
-            self._centres[node.id] = self.node_centres[node.id]
-            self._radii[node.id] = float(self.node_radii[node.id])
+            self._recompute_node(node.id)
             if node.level < self._leaf_level:
                 child_offsets[node.id + 1] = len(node.children)
                 child_chunks.append(np.asarray(node.children, dtype=np.int64))
@@ -178,6 +171,66 @@ class EmbeddingTreeIndex:
             if child_chunks
             else np.empty(0, dtype=np.int64)
         )
+
+    # ------------------------------------------------------------------
+    def _recompute_node(self, node_id: int) -> None:
+        """(Re)derive one node's centre/radius from the current matrix.
+
+        Shared by the constructor and :meth:`refresh_rows` so an
+        incremental refresh is bit-identical to a full rebuild by
+        construction — both run exactly this code on the same inputs.
+        """
+        node = self.hierarchy.nodes[node_id]
+        members = self.matrix[node.vertices]
+        centre = members.mean(axis=0)
+        self.node_centres[node_id] = centre
+        self.node_radii[node_id] = float(lp_distance(members - centre, self.p).max())
+        self._centres[node_id] = self.node_centres[node_id]
+        self._radii[node_id] = float(self.node_radii[node_id])
+
+    @shapes(changed_vertices="(k,):int")
+    def refresh_rows(self, matrix: np.ndarray, changed_vertices: np.ndarray) -> int:
+        """Adopt an updated embedding matrix, recomputing only stale nodes.
+
+        ``changed_vertices`` are the vertex ids whose rows differ from the
+        matrix this index currently serves (a live update's
+        ``UpdateResult.changed_rows``).  Every tree node whose subtree
+        contains one of them gets its centre and radius recomputed from the
+        new matrix; all other nodes are untouched — their member rows did
+        not move, so their cached geometry is still exact, which keeps the
+        refresh O(changed subtrees) instead of O(tree).
+
+        Returns the number of nodes recomputed.  The caller promises the
+        unchanged rows really are bit-equal between old and new matrix;
+        under that contract the result is bit-identical to building a fresh
+        index from ``matrix`` (tested in ``tests/live``).
+        """
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.shape != self.matrix.shape:
+            raise ValueError(
+                f"replacement matrix has shape {matrix.shape}, "
+                f"index was built for {self.matrix.shape}"
+            )
+        changed = np.unique(np.asarray(changed_vertices, dtype=np.int64))
+        if changed.size and (changed[0] < 0 or changed[-1] >= matrix.shape[0]):
+            raise ValueError(
+                f"changed vertex ids must be in [0, {matrix.shape[0]}), got "
+                f"range [{changed[0]}, {changed[-1]}]"
+            )
+        self.matrix = matrix
+        if changed.size == 0:
+            return 0
+        anc = self.hierarchy.anc_rows
+        refreshed = 0
+        # perf: loop-ok (one vectorised row-lookup per level; the inner
+        # recompute loop is bounded by the number of *stale* nodes)
+        for level in range(self._leaf_level + 1):
+            level_ids = np.asarray(self.hierarchy.levels[level], dtype=np.int64)
+            stale_rows = np.unique(anc[changed, level])
+            for node_id in level_ids[stale_rows]:
+                self._recompute_node(int(node_id))
+            refreshed += int(stale_rows.size)
+        return refreshed
 
     # ------------------------------------------------------------------
     def _bound(self, q: np.ndarray, node_id: int) -> float:

@@ -19,7 +19,6 @@ from __future__ import annotations
 
 import os
 import time
-import zlib
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Sequence
 
@@ -30,6 +29,7 @@ from ..graph import Graph, PartitionHierarchy
 from ..parallel import PrefetchPipeline, make_labeler, resolve_workers
 from ..reliability.artifacts import (
     ArtifactError,
+    artifact_version,
     load_artifact,
     save_artifact,
     validate_embedding_payload,
@@ -54,6 +54,7 @@ from .sampling import (
     GridBuckets,
     landmark_samples,
     random_pair_samples,
+    stage_rng as _stage_rng,
     subgraph_level_samples,
     validation_set,
 )
@@ -150,11 +151,18 @@ class RNE:
         model: RNEModel,
         hierarchy: PartitionHierarchy | None,
         history: BuildHistory,
+        *,
+        version: int = 0,
     ) -> None:
+        if version < 0:
+            raise ValueError(f"version must be >= 0, got {version}")
         self.graph = graph
         self.model = model
         self.hierarchy = hierarchy
         self.history = history
+        #: Monotonic embedding version; bumped by every published live
+        #: update (see :mod:`repro.live`) and persisted with the artifact.
+        self.version = int(version)
         self.index = (
             EmbeddingTreeIndex(hierarchy, model.matrix, model.p)
             if hierarchy is not None
@@ -228,7 +236,13 @@ class RNE:
         arrays = {"matrix": self.model.matrix, "p": np.float64(self.model.p)}
         if self.hierarchy is not None:
             arrays["anc_rows"] = self.hierarchy.anc_rows
-        save_artifact(path, arrays, kind="rne", graph=self.graph)
+        save_artifact(
+            path,
+            arrays,
+            kind="rne",
+            graph=self.graph,
+            meta={"version": int(self.version)},
+        )
 
     @classmethod
     def load(cls, path: str, graph: Graph) -> "RNE":
@@ -238,7 +252,7 @@ class RNE:
         file is corrupt, truncated, schema-incompatible, or was trained on
         a different graph — a loaded RNE never silently mis-answers.
         """
-        arrays, _ = load_artifact(path, expect_kind="rne", graph=graph)
+        arrays, manifest = load_artifact(path, expect_kind="rne", graph=graph)
         if "matrix" not in arrays or "p" not in arrays:
             raise ArtifactError(f"{path}: RNE artifact is missing arrays")
         matrix, p = validate_embedding_payload(
@@ -256,7 +270,13 @@ class RNE:
                     f"{path}: stored hierarchy is inconsistent with the "
                     f"graph: {exc}"
                 ) from exc
-        return cls(graph, model, hierarchy, BuildHistory())
+        return cls(
+            graph,
+            model,
+            hierarchy,
+            BuildHistory(),
+            version=artifact_version(manifest),
+        )
 
     # -- accounting --------------------------------------------------------
     def index_bytes(self) -> int:
@@ -275,19 +295,6 @@ def _mean_distance_probe(
 ) -> float:
     _, phi = random_pair_samples(graph, 512, labeler, rng, source_pool_size=16)
     return float(np.mean(phi)) if phi.size else 1.0
-
-
-def _stage_rng(seed: int, stage: str) -> np.random.Generator:
-    """Independent sample stream for ``stage``, derived statelessly from the
-    run seed.
-
-    Decoupling sample generation from the main training RNG is what makes
-    the prefetching pipeline deterministic: a stage's samples are identical
-    whether they are drawn eagerly on the background thread, lazily on the
-    caller thread, or re-derived by a resumed run — the stream depends only
-    on ``(seed, stage name)``, never on when the draw happens.
-    """
-    return np.random.default_rng([seed, zlib.crc32(stage.encode("utf-8"))])
 
 
 def build_rne(

@@ -32,6 +32,7 @@ a worker pool while inheriting the cache and accounting unchanged.
 from __future__ import annotations
 
 import time
+import zlib
 from collections import OrderedDict
 from typing import Any, Callable, Dict, Sequence
 
@@ -39,6 +40,21 @@ import numpy as np
 
 from ..algorithms.dijkstra import sssp_many
 from ..graph import Graph, PartitionHierarchy
+
+def stage_rng(seed: int, stage: str) -> np.random.Generator:
+    """Independent sample stream for ``stage``, derived statelessly from the
+    run seed.
+
+    Decoupling sample generation from the main training RNG is what makes
+    the prefetching pipeline deterministic: a stage's samples are identical
+    whether they are drawn eagerly on the background thread, lazily on the
+    caller thread, or re-derived by a resumed run — the stream depends only
+    on ``(seed, stage name)``, never on when the draw happens.  Incremental
+    updates reuse the same convention so their validation sets honour the
+    caller's seed (see :mod:`repro.core.update`).
+    """
+    return np.random.default_rng([seed, zlib.crc32(stage.encode("utf-8"))])
+
 
 #: Upper bound on re-draw rounds when topping up a sample budget.  Each
 #: round re-draws only the deficit, so even a graph where most pairs are

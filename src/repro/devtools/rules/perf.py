@@ -21,11 +21,13 @@ HOT_PATH_FILES = (
     "core/finetune.py",
     "core/index.py",
     "core/sampling.py",
+    "core/update.py",
     "serving/engine.py",
     "serving/frontdoor.py",
     "parallel/pool.py",
     "parallel/labeler.py",
     "parallel/prefetch.py",
+    "live/update.py",
 )
 
 #: Identifiers that mark an iterable as per-vertex / per-pair sized.

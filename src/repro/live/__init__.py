@@ -1,0 +1,13 @@
+"""Versioned live updates for a serving RNE (see ``docs/UPDATES.md``).
+
+:class:`LiveUpdateManager` coordinates the full lifecycle of an
+edge-weight update against a *serving* model: incremental retraining
+(:func:`repro.core.update.update_rne`), the atomic publish of the new
+embedding, subtree-local refresh of the tree index, and version-keyed
+invalidation of every attached serving engine's and oracle's caches — so
+post-update queries can never be answered from pre-update state.
+"""
+
+from .update import LiveUpdateManager, UpdateStats, perturb_weights
+
+__all__ = ["LiveUpdateManager", "UpdateStats", "perturb_weights"]

@@ -39,6 +39,7 @@ if TYPE_CHECKING:  # import-light: only the type, never the graph stack
 __all__ = [
     "ArtifactError",
     "SCHEMA_VERSION",
+    "artifact_version",
     "graph_fingerprint",
     "load_artifact",
     "save_artifact",
@@ -75,6 +76,24 @@ def graph_fingerprint(graph: "Graph") -> Dict[str, int]:
 
 def _array_checksum(arr: np.ndarray) -> int:
     return zlib.crc32(np.ascontiguousarray(arr).tobytes())
+
+
+def artifact_version(manifest: Mapping[str, Any]) -> int:
+    """Embedding version recorded in an artifact manifest.
+
+    Artifacts written before live updates existed carry no version and
+    revive as version ``0``; anything present must be a non-negative
+    integer (a stamp that cannot be ordered would defeat the staleness
+    contract, so malformed values raise instead of defaulting).
+    """
+    meta = manifest.get("meta") or {}
+    raw = meta.get("version", 0)
+    if isinstance(raw, bool) or not isinstance(raw, int) or raw < 0:
+        raise ArtifactError(
+            f"artifact carries invalid embedding version {raw!r} "
+            "(expected a non-negative integer)"
+        )
+    return int(raw)
 
 
 def save_artifact(

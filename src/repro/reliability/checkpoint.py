@@ -69,16 +69,25 @@ class TrainingDiverged(RuntimeError):
 def pack_state(
     matrices: Sequence[np.ndarray],
     adam_states: Optional[Sequence[Any]] = None,
+    *,
+    version: Optional[int] = None,
 ) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:
     """Pack embedding matrices (+ optional Adam moments) for an artifact.
 
     Returns ``(arrays, meta_fragment)``; the fragment carries the Adam step
     counters, which are scalars and live more naturally in the manifest.
+    ``version`` — when given — records the embedding version the state
+    belongs to (``meta["model_version"]``), so live-update journals can
+    tie a checkpoint to a specific published embedding.
     """
     arrays: Dict[str, np.ndarray] = {}
     for level, matrix in enumerate(matrices):
         arrays[f"local_{level}"] = np.asarray(matrix)
     meta: Dict[str, Any] = {"num_levels": len(list(matrices))}
+    if version is not None:
+        if version < 0:
+            raise ValueError(f"version must be >= 0, got {version}")
+        meta["model_version"] = int(version)
     if adam_states is not None:
         for level, state in enumerate(adam_states):
             arrays[f"adam_m_{level}"] = np.asarray(state.m)
@@ -92,12 +101,14 @@ def unpack_state(
     meta: Dict[str, Any],
     matrices: Sequence[np.ndarray],
     adam_states: Optional[Sequence[Any]] = None,
-) -> None:
+) -> Optional[int]:
     """Restore packed state *in place* into ``matrices`` / ``adam_states``.
 
     Shape mismatches (a checkpoint from a different architecture or
     hierarchy) raise :class:`ArtifactError` rather than silently writing
-    misaligned parameters.
+    misaligned parameters.  Returns the embedding version the checkpoint
+    was packed with (``meta["model_version"]``), or ``None`` for
+    checkpoints written before live updates existed.
     """
     if meta.get("num_levels") != len(list(matrices)):
         raise ArtifactError(
@@ -127,6 +138,18 @@ def unpack_state(
                     )
                 target[...] = arrays[key]
             state.t = int(counters[level])
+    raw_version = meta.get("model_version")
+    if raw_version is None:
+        return None
+    if (
+        isinstance(raw_version, bool)
+        or not isinstance(raw_version, int)
+        or raw_version < 0
+    ):
+        raise ArtifactError(
+            f"checkpoint carries invalid model version {raw_version!r}"
+        )
+    return int(raw_version)
 
 
 def rng_state(rng: np.random.Generator) -> Dict[str, Any]:

@@ -37,7 +37,7 @@ from ..core.index import PreparedTargets
 from ..core.pipeline import RNE
 from ..graph import Graph
 from ..serving.engine import BatchQueryEngine
-from .artifacts import ArtifactError
+from .artifacts import ArtifactError, graph_fingerprint
 
 __all__ = ["OracleStats", "ResilientOracle"]
 
@@ -132,7 +132,57 @@ class ResilientOracle:
             graph=self.graph,
             row_cache_size=self._row_cache_size,
             sssp_cache_size=self._sssp_cache_size,
+            version=int(self.rne.version) if self.rne is not None else 0,
         )
+
+    def apply_update(
+        self,
+        new_graph: Graph,
+        *,
+        probe_pairs: int = 64,
+        seed: int = 0,
+    ) -> dict:
+        """Adopt a live update: new graph, already-published embedding.
+
+        Called by :class:`repro.live.LiveUpdateManager` *after* the RNE's
+        embedding and version were swapped in place.  The oracle switches
+        its source of truth to ``new_graph``, advances the engine to the
+        RNE's current version (purging version-keyed hot rows and — since
+        the graph changed — cached SSSP trees), and, when an
+        ``error_bound`` is configured, re-probes the updated model against
+        exact distances on the new graph; a model that no longer beats the
+        bound degrades to exact serving right here rather than after the
+        first wrong answer.
+
+        A degraded oracle still adopts the new graph — its exact fallback
+        must not keep answering from the old road network.
+
+        Returns the engine's invalidation counts.
+        """
+        if new_graph.n != self.graph.n:
+            raise ValueError(
+                f"updated graph has {new_graph.n} vertices, "
+                f"oracle serves {self.graph.n}"
+            )
+        graph_changed = graph_fingerprint(new_graph) != graph_fingerprint(self.graph)
+        self.graph = new_graph
+        if self.rne is not None:
+            target_version = max(int(self.rne.version), self.engine.version)
+        else:
+            target_version = self.engine.version
+        # SSSP trees hold *exact* distances: they only go stale when the
+        # road network itself changed, not when the embedding moved.
+        counts = self.engine.set_version(
+            target_version, graph=new_graph if graph_changed else None
+        )
+        self.stats.notes.append(
+            f"live update adopted at version {counts['to_version']} "
+            f"({counts['hot_rows_purged']} hot rows, "
+            f"{counts['sssp_dropped']} SSSP trees invalidated)"
+        )
+        if self.rne is not None and self.error_bound is not None:
+            self._probe(probe_pairs, seed)
+        return counts
 
     def _degrade(self, reason: str) -> None:
         self.rne = None

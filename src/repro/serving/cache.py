@@ -15,7 +15,7 @@ report hit rates per cache.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any, Dict, Hashable, Optional
+from typing import Any, Callable, Dict, Hashable, Optional
 
 __all__ = ["LRUCache"]
 
@@ -42,6 +42,7 @@ class LRUCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.invalidations = 0
         self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
 
     def __len__(self) -> int:
@@ -74,7 +75,23 @@ class LRUCache:
 
     def clear(self) -> None:
         """Drop all entries; counters are preserved."""
+        self.invalidations += len(self._data)
         self._data.clear()
+
+    def purge(self, predicate: Callable[[Hashable], bool]) -> int:
+        """Drop every entry whose key satisfies ``predicate``.
+
+        The live-update path uses this to evict entries keyed to a stale
+        embedding version while keeping still-valid ones (e.g. SSSP trees
+        when only the model, not the graph, changed).  Returns the number
+        of entries dropped; they count as *invalidations*, not evictions —
+        capacity pressure and staleness are different signals.
+        """
+        stale = [key for key in self._data if predicate(key)]
+        for key in stale:
+            del self._data[key]
+        self.invalidations += len(stale)
+        return len(stale)
 
     @property
     def hit_rate(self) -> float:
@@ -87,6 +104,7 @@ class LRUCache:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "invalidations": self.invalidations,
             "hit_rate": self.hit_rate,
             "size": len(self._data),
             "capacity": self.capacity,

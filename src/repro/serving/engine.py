@@ -87,6 +87,12 @@ class BatchQueryEngine:
         source)`` distance rows).  ``0`` disables it.
     sssp_cache_size:
         Capacity of the exact SSSP-tree LRU.  ``0`` disables it.
+    version:
+        Embedding version this engine serves (``RNE.version``).  Hot-row
+        cache keys embed it, so entries computed against one embedding can
+        never answer queries against another — staleness after a live
+        update is impossible *by construction*, not by best-effort
+        flushing.  Bumped via :meth:`set_version`.
     """
 
     def __init__(
@@ -97,34 +103,91 @@ class BatchQueryEngine:
         graph: Optional[Graph] = None,
         row_cache_size: int = 256,
         sssp_cache_size: int = 32,
+        version: int = 0,
     ) -> None:
         if model is None and graph is None:
             raise ValueError("BatchQueryEngine needs a model and/or a graph")
         if index is not None and model is not None:
             if index.matrix is not model.matrix and index.matrix.shape != model.matrix.shape:
                 raise ValueError("index and model cover different embeddings")
+        if version < 0:
+            raise ValueError(f"version must be >= 0, got {version}")
         self.model = model
         self.index = index
         self.graph = graph
+        self.version = int(version)
         self.stats = ServingStats()
         self.hot_rows = self.stats.register_cache(
             LRUCache(row_cache_size, name="hot_rows")
         )
         self.sssp = self.stats.register_cache(LRUCache(sssp_cache_size, name="sssp"))
         # Promote-on-second-touch bookkeeping: sources seen once per
-        # prepared set; a repeat miss pays one full-row pass and caches it.
-        self._touched: "OrderedDict[Tuple[int, int], None]" = OrderedDict()
+        # (version, prepared set); a repeat miss pays one full-row pass
+        # and caches it.
+        self._touched: "OrderedDict[Tuple[int, int, int], None]" = OrderedDict()
         self._touch_capacity = max(4 * row_cache_size, 64)
 
     @classmethod
     def from_rne(cls, rne: Any, *, graph: Optional[Graph] = None, **kwargs: Any) -> "BatchQueryEngine":
         """Build an engine from a trained :class:`~repro.core.pipeline.RNE`."""
+        kwargs.setdefault("version", int(getattr(rne, "version", 0)))
         return cls(
             model=rne.model,
             index=rne.index,
             graph=graph if graph is not None else getattr(rne, "graph", None),
             **kwargs,
         )
+
+    # ------------------------------------------------------------------
+    # live updates
+    # ------------------------------------------------------------------
+    def set_version(
+        self, version: int, *, graph: Optional[Graph] = None
+    ) -> Dict[str, int]:
+        """Adopt a new embedding version (and optionally a new graph).
+
+        Called by :class:`repro.live.LiveUpdateManager` after publishing an
+        updated embedding.  Hot-row entries keyed to older versions become
+        unreachable immediately (keys embed the version) and are purged
+        eagerly to free their memory; the promote-on-second-touch ledger is
+        reset for the same reason.  When ``graph`` is given the road
+        network itself changed, so cached SSSP trees are dropped too —
+        otherwise they stay, because exact distances do not depend on the
+        embedding.
+
+        Versions are required to advance monotonically: serving an *older*
+        embedding than the caches have seen would break the staleness
+        contract, so a regression raises instead of corrupting state.
+
+        Returns the invalidation counts per structure.
+        """
+        if version < self.version:
+            raise ValueError(
+                f"version must not regress (engine at {self.version}, "
+                f"asked to adopt {version})"
+            )
+        stale_version = self.version
+        self.version = int(version)
+        dropped_rows = self.hot_rows.purge(
+            lambda key: bool(
+                isinstance(key, tuple) and key and key[0] != self.version
+            )
+        )
+        dropped_touches = len(self._touched)
+        self._touched.clear()
+        dropped_sssp = 0
+        if graph is not None:
+            self.graph = graph
+            dropped_sssp = len(self.sssp)
+            self.sssp.clear()
+        counts = {
+            "from_version": int(stale_version),
+            "to_version": int(self.version),
+            "hot_rows_purged": int(dropped_rows),
+            "touch_ledger_dropped": int(dropped_touches),
+            "sssp_dropped": int(dropped_sssp),
+        }
+        return counts
 
     # ------------------------------------------------------------------
     # target preparation
@@ -316,9 +379,12 @@ class BatchQueryEngine:
         hits: Dict[int, np.ndarray] = {}
         miss: List[int] = []
         promote: List[int] = []
+        # Keys embed the engine's embedding version: a row cached against
+        # version v is unreachable at v+1, so a live update can never serve
+        # stale distances out of this cache.
         # perf: loop-ok (per-source cache bookkeeping; row maths is vectorised)
         for i, s in enumerate(sources):
-            key = (prepared.token, int(s))
+            key = (self.version, prepared.token, int(s))
             row = self.hot_rows.get(key)
             if row is not None:
                 hits[i] = row
@@ -333,12 +399,14 @@ class BatchQueryEngine:
             rows = self._full_rows(model, prepared, promote_sources)
             # perf: loop-ok (cache insertion per promoted source)
             for i, row in zip(promote, rows):
-                self.hot_rows.put((prepared.token, int(sources[i])), row)
+                self.hot_rows.put(
+                    (self.version, prepared.token, int(sources[i])), row
+                )
                 hits[i] = row
                 miss.remove(i)
         return hits, np.array(miss, dtype=np.int64)
 
-    def _touch(self, key: Tuple[int, int]) -> None:
+    def _touch(self, key: Tuple[int, int, int]) -> None:
         if key in self._touched:
             self._touched.move_to_end(key)
         else:

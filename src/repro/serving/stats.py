@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from typing import Any, Dict, Iterator, Optional
+from typing import Any, Dict, Iterator, List, Optional
 
 import numpy as np
 
@@ -121,9 +121,15 @@ class OpStats:
 class ServingStats:
     """All observability state of one engine: ops and registered caches."""
 
+    #: Keep only this many most-recent live-update records in memory.
+    MAX_UPDATE_RECORDS = 64
+
     def __init__(self) -> None:
         self.ops: Dict[str, OpStats] = {}
         self.caches: Dict[str, LRUCache] = {}
+        #: JSON-safe records of live model updates applied to this engine
+        #: (bounded ring; see :meth:`record_update`).
+        self.updates: List[Dict[str, Any]] = []
 
     def op(self, name: str) -> OpStats:
         """The (auto-created) stats bucket for operation ``name``."""
@@ -135,6 +141,18 @@ class ServingStats:
         """Track a cache so snapshots include its hit rate."""
         self.caches[cache.name] = cache
         return cache
+
+    def record_update(self, record: Dict[str, Any]) -> None:
+        """Append one live-update record (version swap, invalidation counts).
+
+        Bounded to :data:`MAX_UPDATE_RECORDS` entries so a long-lived
+        serving process does not grow without limit; snapshots expose the
+        total count separately from the retained tail.
+        """
+        self.updates.append(dict(record))
+        overflow = len(self.updates) - self.MAX_UPDATE_RECORDS
+        if overflow > 0:
+            del self.updates[:overflow]
 
     @contextmanager
     def timed(self, name: str, items: int) -> Iterator[None]:
@@ -152,6 +170,7 @@ class ServingStats:
             "caches": {
                 name: cache.snapshot() for name, cache in sorted(self.caches.items())
             },
+            "live_updates": list(self.updates),
         }
 
     def report(self) -> str:

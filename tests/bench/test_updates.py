@@ -1,0 +1,34 @@
+"""Tests for the live-update vs rebuild benchmark."""
+
+import json
+
+import pytest
+
+from repro.bench.updates import _default_out_path, updates_benchmark
+
+
+def test_default_out_path_prefers_results_dir():
+    assert _default_out_path().endswith("BENCH_updates.json")
+
+
+@pytest.mark.slow
+def test_fast_benchmark_schema_and_invariants(tmp_path):
+    out = tmp_path / "BENCH_updates.json"
+    results = updates_benchmark(fast=True, out_path=str(out))
+
+    assert results["fast"] is True
+    assert results["perturbed_edges"] > 0
+    inc = results["incremental"]
+    assert inc["total_seconds"] > 0
+    assert inc["swap_seconds"] < inc["total_seconds"]
+    assert 0 < inc["index_nodes_refreshed"] <= inc["index_nodes_total"]
+    assert inc["engine_invalidations"], "engine must have been invalidated"
+    assert results["rebuild"]["total_seconds"] > 0
+    assert results["speedup"] == pytest.approx(
+        results["rebuild"]["total_seconds"] / inc["total_seconds"]
+    )
+    assert "report" in results
+
+    on_disk = json.loads(out.read_text())
+    assert on_disk["graph"]["vertices"] == results["graph"]["vertices"]
+    assert on_disk["incremental"]["published"] == inc["published"]

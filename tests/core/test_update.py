@@ -96,3 +96,86 @@ class TestUpdate:
             hmodel, graph, np.array([[0, 1]]), samples=1000, rounds=2, seed=0
         )
         assert result.error_after <= result.error_before * 1.05
+
+
+def _vertex_view_of(rne):
+    """Trainable hierarchical view over the trained global matrix."""
+    from repro.core.hierarchical import HierarchicalRNE
+
+    hmodel = HierarchicalRNE(rne.hierarchy, rne.model.d, seed=0)
+    for level in range(hmodel.num_levels - 1):
+        hmodel.locals[level][:] = 0.0
+    hmodel.locals[-1] = rne.model.matrix.copy()
+    return hmodel
+
+
+class TestVectorisedRegion:
+    def test_matches_set_based_reference(self, trained):
+        graph, _ = trained
+        rng = np.random.default_rng(3)
+        edges = list(graph.edges())
+        picks = rng.choice(len(edges), size=6, replace=False)
+        changed = np.array([[edges[i].u, edges[i].v] for i in picks])
+        adjacency = {v: set() for v in range(graph.n)}
+        for e in edges:
+            adjacency[e.u].add(e.v)
+            adjacency[e.v].add(e.u)
+        for hops in (0, 1, 2, 3):
+            frontier = set(changed.ravel().tolist())
+            seen = set(frontier)
+            for _ in range(hops):
+                frontier = {
+                    nbr for v in frontier for nbr in adjacency[v]
+                } - seen
+                seen |= frontier
+            region = affected_region(graph, changed, hops=hops)
+            assert region.tolist() == sorted(seen)
+            assert region.dtype == np.int64
+
+    def test_duplicate_changed_edges_are_harmless(self, trained):
+        graph, _ = trained
+        once = affected_region(graph, np.array([[0, 1]]), hops=2)
+        twice = affected_region(graph, np.array([[0, 1], [1, 0], [0, 1]]), hops=2)
+        assert np.array_equal(once, twice)
+
+
+class TestSamplingBudget:
+    def test_rounds_hit_exact_sample_counts(self, trained):
+        graph, rne = trained
+        new_graph, changed = _perturb(graph, factor=4.0, count=8, seed=2)
+        result = update_rne(
+            _vertex_view_of(rne), new_graph, changed,
+            samples=700, rounds=3, validation_size=200, seed=1,
+        )
+        assert result.rounds_run == 3
+        assert result.samples_per_round == [700, 700, 700]
+
+
+class TestSeedThreading:
+    def test_same_seed_bit_identical(self, trained):
+        graph, rne = trained
+        new_graph, changed = _perturb(graph, factor=4.0, count=8, seed=2)
+        results = [
+            update_rne(
+                _vertex_view_of(rne), new_graph, changed,
+                samples=800, rounds=2, validation_size=200, seed=5,
+            )
+            for _ in range(2)
+        ]
+        assert results[0].round_errors == results[1].round_errors
+        assert results[0].error_before == results[1].error_before
+
+    def test_different_seeds_differ(self, trained):
+        """The validation RNG derives from ``seed`` (no hard-coded stream):
+        different seeds must produce different validation sets and hence
+        different measured errors."""
+        graph, rne = trained
+        new_graph, changed = _perturb(graph, factor=4.0, count=8, seed=2)
+        errs = {
+            update_rne(
+                _vertex_view_of(rne), new_graph, changed,
+                samples=800, rounds=1, validation_size=200, seed=s,
+            ).error_before
+            for s in (0, 1, 2)
+        }
+        assert len(errs) == 3

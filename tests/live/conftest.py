@@ -1,0 +1,38 @@
+"""Shared fixtures for the live-update suite: one trained serving stack."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import RNEConfig, build_rne
+from repro.graph import grid_city
+
+
+@pytest.fixture(scope="module")
+def live_graph():
+    return grid_city(10, 10, seed=3)
+
+
+@pytest.fixture(scope="module")
+def base_rne(live_graph):
+    """One trained hierarchy-backed RNE shared (read-only) by the module.
+
+    Tests that publish updates must work on ``clone_rne`` copies.
+    """
+    config = RNEConfig(
+        d=8, hier_samples_per_level=1500, hier_epochs=2,
+        vertex_samples=4000, vertex_epochs=3, num_landmarks=12,
+        joint_epochs=1, joint_samples=1000, active=False,
+        finetune_rounds=1, finetune_samples=800, validation_size=200, seed=0,
+    )
+    return build_rne(live_graph, config)
+
+
+@pytest.fixture()
+def clone_rne(base_rne, tmp_path):
+    """A fully independent copy of the trained RNE (fresh index, version 0)."""
+    path = tmp_path / "model.npz"
+    base_rne.save(str(path))
+    from repro.core.pipeline import RNE
+
+    return RNE.load(str(path), base_rne.graph)

@@ -1,0 +1,275 @@
+"""Staleness-matrix tests for the versioned live-update subsystem.
+
+The invariant under test: after ``LiveUpdateManager.update`` publishes a
+new embedding, every serving surface — engine distances/kNN/range, the
+tree index, the resilient oracle, in-flight prepared target sets —
+answers bit-identically to a stack built *fresh* from the updated state.
+No cache, radius, or SSSP tree may keep serving the pre-update world.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.index import EmbeddingTreeIndex
+from repro.core.pipeline import RNE
+from repro.graph import Graph
+from repro.live import LiveUpdateManager, UpdateStats, perturb_weights
+from repro.reliability.checkpoint import CheckpointManager, unpack_state
+from repro.reliability.fallback import ResilientOracle
+from repro.serving import BatchQueryEngine
+
+
+def _apply_update(manager, rne, seed=0, count=6, **kw):
+    new_graph, changed = perturb_weights(
+        rne.graph, factor=4.0, count=count, seed=seed + 1
+    )
+    kw.setdefault("samples", 1500)
+    kw.setdefault("rounds", 2)
+    kw.setdefault("validation_size", 200)
+    stats = manager.update(new_graph, changed, seed=seed, **kw)
+    return new_graph, stats
+
+
+class TestPerturbWeights:
+    def test_topology_and_coords_preserved(self, live_graph):
+        new_graph, changed = perturb_weights(live_graph, count=5, seed=2)
+        assert new_graph.n == live_graph.n
+        assert new_graph.m == live_graph.m
+        assert np.array_equal(new_graph.coords, live_graph.coords)
+        assert changed.shape == (5, 2)
+
+    def test_factor_applied_to_exactly_count_edges(self, live_graph):
+        new_graph, changed = perturb_weights(
+            live_graph, factor=3.0, count=4, seed=5
+        )
+        _, _, old_ws = live_graph.edge_array()
+        _, _, new_ws = new_graph.edge_array()
+        scaled = np.flatnonzero(~np.isclose(new_ws, old_ws))
+        assert scaled.size == 4
+        assert np.allclose(new_ws[scaled], old_ws[scaled] * 3.0)
+
+    def test_invalid_args(self, live_graph):
+        with pytest.raises(ValueError):
+            perturb_weights(live_graph, factor=0.0)
+        with pytest.raises(ValueError):
+            perturb_weights(live_graph, count=0)
+
+
+class TestConstruction:
+    def test_requires_hierarchy(self, live_graph):
+        from repro.core.model import RNEModel
+        from repro.core.pipeline import BuildHistory
+
+        flat = RNE(
+            live_graph,
+            RNEModel.random(live_graph.n, 4, seed=0),
+            None,
+            BuildHistory(),
+        )
+        with pytest.raises(ValueError):
+            LiveUpdateManager(flat)
+
+    def test_rejects_engine_on_foreign_model(self, clone_rne, base_rne):
+        foreign = BatchQueryEngine.from_rne(base_rne)
+        with pytest.raises(ValueError, match="different model"):
+            LiveUpdateManager(clone_rne, engines=(foreign,))
+
+    def test_rejects_engine_ahead_of_model(self, clone_rne):
+        engine = BatchQueryEngine.from_rne(clone_rne)
+        engine.set_version(clone_rne.version + 3)
+        with pytest.raises(ValueError, match="ahead"):
+            LiveUpdateManager(clone_rne, engines=(engine,))
+
+    def test_rejects_oracle_on_foreign_rne(self, clone_rne, base_rne):
+        foreign = ResilientOracle(base_rne.graph, rne=base_rne)
+        with pytest.raises(ValueError, match="different RNE"):
+            LiveUpdateManager(clone_rne, oracles=(foreign,))
+
+
+class TestPublish:
+    def test_version_advances_by_one_when_published(self, clone_rne):
+        manager = LiveUpdateManager(clone_rne)
+        before = clone_rne.version
+        _, stats = _apply_update(manager, clone_rne)
+        assert stats.graph_changed
+        if stats.published:
+            assert clone_rne.version == before + 1
+            assert stats.version_after == before + 1
+            assert stats.changed_rows > 0
+        else:
+            assert clone_rne.version == before
+
+    def test_index_refresh_bit_identical_to_full_rebuild(self, clone_rne):
+        manager = LiveUpdateManager(clone_rne)
+        _, stats = _apply_update(manager, clone_rne)
+        assert stats.published, "perturbation should trigger a publish"
+        index = clone_rne.index
+        rebuilt = EmbeddingTreeIndex(
+            clone_rne.hierarchy, clone_rne.model.matrix, clone_rne.model.p
+        )
+        assert np.array_equal(index.node_centres, rebuilt.node_centres)
+        assert np.array_equal(index.node_radii, rebuilt.node_radii)
+        assert 0 < stats.index_nodes_refreshed <= index.node_radii.size
+
+    def test_graph_swapped_when_changed(self, clone_rne):
+        manager = LiveUpdateManager(clone_rne)
+        new_graph, stats = _apply_update(manager, clone_rne)
+        assert stats.graph_changed
+        assert clone_rne.graph is new_graph
+
+    def test_version_roundtrips_through_artifact(self, clone_rne, tmp_path):
+        manager = LiveUpdateManager(clone_rne)
+        new_graph, stats = _apply_update(manager, clone_rne)
+        assert stats.published
+        path = tmp_path / "updated.npz"
+        clone_rne.save(str(path))
+        loaded = RNE.load(str(path), new_graph)
+        assert loaded.version == clone_rne.version == 1
+        assert np.array_equal(loaded.model.matrix, clone_rne.model.matrix)
+
+
+class TestStalenessMatrix:
+    """Post-update serving must equal a stack built fresh from new state."""
+
+    @pytest.fixture()
+    def updated(self, clone_rne):
+        engine = BatchQueryEngine.from_rne(clone_rne, graph=clone_rne.graph)
+        oracle = ResilientOracle(clone_rne.graph, rne=clone_rne)
+        manager = LiveUpdateManager(
+            clone_rne, engines=(engine,), oracles=(oracle,)
+        )
+        rng = np.random.default_rng(9)
+        targets = np.sort(
+            rng.choice(clone_rne.graph.n, size=40, replace=False)
+        ).astype(np.int64)
+        sources = rng.choice(clone_rne.graph.n, size=16, replace=False).astype(
+            np.int64
+        )
+        # Warm version-keyed hot rows (promote-on-second-touch needs 3 hits).
+        prepared = engine.prepare(targets)
+        for _ in range(3):
+            engine.knn(sources, prepared, 5)
+        new_graph, stats = _apply_update(manager, clone_rne)
+        assert stats.published
+        fresh_engine = BatchQueryEngine.from_rne(clone_rne, graph=new_graph)
+        return engine, oracle, fresh_engine, sources, targets, prepared, stats
+
+    def test_distances_match_fresh_engine(self, updated):
+        engine, _, fresh, sources, targets, _, _ = updated
+        pairs = np.column_stack([sources, targets[: sources.size]])
+        assert np.array_equal(engine.distances(pairs), fresh.distances(pairs))
+
+    def test_knn_matches_fresh_engine_and_brute_force(self, updated, clone_rne):
+        engine, _, fresh, sources, targets, _, _ = updated
+        got = engine.knn(sources, targets, 5)
+        want = fresh.knn(sources, targets, 5)
+        for g, w in zip(got, want):
+            assert np.array_equal(g, w)
+        # Brute force over the updated embedding: lexsort (dist, id).
+        matrix = clone_rne.model.matrix
+        for s, g in zip(sources, got):
+            dist = np.abs(matrix[targets] - matrix[s]).sum(axis=1)
+            order = np.lexsort((targets, dist))[:5]
+            assert np.array_equal(g, targets[order])
+
+    def test_range_matches_fresh_engine(self, updated):
+        engine, _, fresh, sources, targets, _, _ = updated
+        tau = 6.0
+        got = engine.range_query(sources, targets, tau)
+        want = fresh.range_query(sources, targets, tau)
+        for g, w in zip(got, want):
+            assert np.array_equal(g, w)
+
+    def test_prepared_targets_survive_the_swap(self, updated):
+        engine, _, fresh, sources, targets, prepared, _ = updated
+        got = engine.knn(sources, prepared, 5)  # prepared pre-update
+        want = fresh.knn(sources, targets, 5)
+        for g, w in zip(got, want):
+            assert np.array_equal(g, w)
+
+    def test_oracle_matches_fresh_engine(self, updated):
+        _, oracle, fresh, sources, targets, _, _ = updated
+        got = oracle.knn_batch(sources, targets, 5)
+        want = fresh.knn(sources, targets, 5)
+        for g, w in zip(got, want):
+            assert np.array_equal(g, w)
+        got_r = oracle.range_batch(sources, targets, 6.0)
+        want_r = fresh.range_query(sources, targets, 6.0)
+        for g, w in zip(got_r, want_r):
+            assert np.array_equal(g, w)
+
+    def test_oracle_exact_fallback_uses_new_graph(self, updated, clone_rne):
+        _, oracle, _, sources, _, _, _ = updated
+        from repro.algorithms.dijkstra import dijkstra
+
+        s = int(sources[0])
+        row = oracle.engine.sssp_row(s)
+        assert np.allclose(row, dijkstra(clone_rne.graph, s))
+
+    def test_stale_hot_rows_purged_and_unreachable(self, updated):
+        engine, _, _, _, _, _, stats = updated
+        purge = stats.engine_invalidations[0]
+        assert purge["hot_rows_purged"] > 0
+        # Every surviving/new hot-row key carries the current version: a
+        # stale hit is impossible by key construction.
+        for key in engine.hot_rows._data:
+            assert key[0] == engine.version
+
+    def test_update_stats_surface_in_snapshot(self, updated):
+        engine, oracle, _, _, _, _, stats = updated
+        for snap_owner in (engine, oracle.engine):
+            records = snap_owner.snapshot()["live_updates"]
+            assert len(records) == 1
+            assert records[0]["version_after"] == stats.version_after
+            assert records[0]["published"] is True
+
+    def test_report_mentions_versions(self, updated):
+        *_, stats = updated
+        text = stats.report()
+        assert "version" in text
+        assert "->" in text
+
+
+class TestCheckpointJournal:
+    def test_published_update_journals_versioned_matrix(
+        self, clone_rne, tmp_path
+    ):
+        ckpts = CheckpointManager(str(tmp_path / "ckpts"))
+        manager = LiveUpdateManager(clone_rne, checkpoints=ckpts)
+        _, stats = _apply_update(manager, clone_rne)
+        assert stats.published
+        assert stats.checkpoint_path is not None
+        arrays, meta = ckpts.load("live_update")
+        restored = [np.zeros_like(clone_rne.model.matrix)]
+        version = unpack_state(arrays, meta, restored)
+        assert version == clone_rne.version == 1
+        assert np.array_equal(restored[0], clone_rne.model.matrix)
+
+    def test_unpublished_update_does_not_journal(self, clone_rne, tmp_path):
+        ckpts = CheckpointManager(str(tmp_path / "ckpts"))
+        manager = LiveUpdateManager(clone_rne, checkpoints=ckpts)
+        # Same graph, no perturbation: keep-best declines to publish.
+        stats = manager.update(
+            clone_rne.graph,
+            np.array([[0, 1]]),
+            samples=500,
+            rounds=1,
+            validation_size=100,
+            seed=0,
+        )
+        assert not stats.graph_changed
+        if not stats.published:
+            assert stats.checkpoint_path is None
+
+
+class TestHistory:
+    def test_sequential_updates_accumulate(self, clone_rne):
+        manager = LiveUpdateManager(clone_rne)
+        _apply_update(manager, clone_rne, seed=0)
+        _apply_update(manager, clone_rne, seed=7)
+        assert len(manager.history) == 2
+        assert all(isinstance(s, UpdateStats) for s in manager.history)
+        versions = [s.version_after for s in manager.history]
+        assert versions == sorted(versions)

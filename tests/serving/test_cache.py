@@ -85,7 +85,47 @@ class TestDisabledAndClear:
             "hits": 1,
             "misses": 1,
             "evictions": 0,
+            "invalidations": 0,
             "hit_rate": 0.5,
             "size": 1,
             "capacity": 4,
         }
+
+
+class TestPurgeAndInvalidations:
+    def test_purge_removes_matching_and_counts(self):
+        cache = LRUCache(8)
+        for v in range(4):
+            cache.put((v % 2, v), v)
+        dropped = cache.purge(lambda key: key[0] == 0)
+        assert dropped == 2
+        assert cache.invalidations == 2
+        assert len(cache) == 2
+        assert cache.get((1, 1)) == 1
+        assert cache.get((0, 0)) is None
+
+    def test_purge_nothing_matches(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        assert cache.purge(lambda key: False) == 0
+        assert cache.invalidations == 0
+        assert "a" in cache
+
+    def test_clear_counts_invalidations(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.clear()
+        assert cache.invalidations == 2
+        cache.clear()  # idempotent: nothing left to drop
+        assert cache.invalidations == 2
+
+    def test_purge_preserves_recency_of_survivors(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.purge(lambda key: key == "a")
+        cache.put("c", 3)  # room for both: "a" was purged, not evicted
+        assert "b" in cache
+        assert "c" in cache
+        assert cache.evictions == 0

@@ -275,3 +275,58 @@ class TestPreparedTargets:
         assert prepared.m == 3
         assert prepared.mask.sum() == 3
         assert not prepared.has_tree
+
+
+class TestVersionContract:
+    def test_negative_version_rejected(self, stack, small_grid):
+        model, index = stack
+        with pytest.raises(ValueError):
+            BatchQueryEngine(model=model, index=index, version=-1)
+
+    def test_set_version_monotonic(self, engine):
+        engine.set_version(3)
+        assert engine.version == 3
+        with pytest.raises(ValueError, match="regress"):
+            engine.set_version(2)
+        # Same version is a legal no-op adoption.
+        counts = engine.set_version(3)
+        assert counts["hot_rows_purged"] == 0
+
+    def test_hot_row_keys_carry_version(self, engine, small_grid):
+        targets = np.arange(16, dtype=np.int64)
+        prepared = engine.prepare(targets)
+        sources = np.array([1, 2], dtype=np.int64)
+        for _ in range(3):  # promote-on-second-touch needs repeats
+            engine.knn(sources, prepared, 3)
+        assert len(engine.hot_rows) > 0
+        assert all(key[0] == engine.version for key in engine.hot_rows._data)
+
+    def test_bump_purges_stale_rows_keeps_sssp(self, engine, small_grid):
+        targets = np.arange(16, dtype=np.int64)
+        prepared = engine.prepare(targets)
+        sources = np.array([1, 2], dtype=np.int64)
+        for _ in range(3):
+            engine.knn(sources, prepared, 3)
+        engine.sssp_row(0)
+        cached_rows = len(engine.hot_rows)
+        assert cached_rows > 0
+        counts = engine.set_version(engine.version + 1)
+        assert counts["hot_rows_purged"] == cached_rows
+        assert len(engine.hot_rows) == 0
+        assert len(engine.sssp) == 1  # embedding moved, graph did not
+        assert counts["sssp_dropped"] == 0
+
+    def test_bump_with_graph_drops_sssp(self, engine, small_grid):
+        engine.sssp_row(0)
+        counts = engine.set_version(engine.version + 1, graph=small_grid)
+        assert counts["sssp_dropped"] == 1
+        assert len(engine.sssp) == 0
+
+    def test_results_identical_after_version_bump(self, engine, small_grid, rng):
+        targets = _random_targets(rng, small_grid.n, 20)
+        sources = rng.integers(0, small_grid.n, size=8).astype(np.int64)
+        before = engine.knn(sources, targets, 4)
+        engine.set_version(engine.version + 1)
+        after = engine.knn(sources, targets, 4)
+        for b, a in zip(before, after):
+            np.testing.assert_array_equal(b, a)

@@ -139,3 +139,54 @@ class TestServingCli:
 
     def test_serving_experiment_registered(self):
         assert "serving" in EXPERIMENTS
+
+
+class TestUpdateCommand:
+    def test_model_is_required(self):
+        with pytest.raises(SystemExit):
+            main(["update"])
+
+    def test_missing_artifact_is_clean_error(self, tmp_path, capsys):
+        missing = tmp_path / "nope.npz"
+        rc = main(["update", "--model", str(missing), "--size", "6"])
+        assert rc == 1
+        assert "cannot update" in capsys.readouterr().err
+
+    @pytest.mark.slow
+    def test_train_then_update_roundtrip(self, tmp_path, capsys):
+        import json
+
+        model = tmp_path / "model.npz"
+        updated = tmp_path / "updated.npz"
+        stats_path = tmp_path / "stats.json"
+        assert main(
+            ["train", "--out", str(model), "--size", "8", "--seed", "1"]
+        ) == 0
+        capsys.readouterr()
+        rc = main(
+            [
+                "update", "--model", str(model), "--out", str(updated),
+                "--size", "8", "--seed", "1", "--samples", "1500",
+                "--rounds", "2", "--validation-size", "200",
+                "--stats-out", str(stats_path),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "version" in out
+        assert updated.exists()
+        record = json.loads(stats_path.read_text())
+        assert record["version_after"] >= record["version_before"]
+        # The saved artifact carries the (possibly bumped) version.
+        from repro.core.pipeline import RNE
+        from repro.graph import grid_city
+        from repro.live import perturb_weights
+
+        graph = grid_city(8, 8, seed=1)
+        new_graph, _ = perturb_weights(graph, factor=2.0, count=10, seed=2)
+        load_graph = new_graph if record["graph_changed"] else graph
+        loaded = RNE.load(str(updated), load_graph)
+        assert loaded.version == record["version_after"]
+
+    def test_updates_experiment_registered(self):
+        assert "updates" in EXPERIMENTS
